@@ -1,0 +1,38 @@
+// Fig. 3 — Per-stage core utilization across the Fig. 2 frequency sweep.
+//
+// Shows *which* server saturates first as the stack slows down: the TCP
+// core carries the most cycles per packet, so its utilization hits 1.0 at
+// the knee frequency, while the driver and IP cores still have headroom —
+// the observation that motivates consolidating cheap stages onto one core
+// (Fig. 6) and steering per-stage frequencies instead of one global setting.
+
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/core/steering.h"
+#include "src/metrics/table.h"
+
+namespace newtos {
+namespace {
+
+void Run(const char* argv0) {
+  Table t({"stack_ghz", "goodput_gbps", "util_driver", "util_ip_pf", "util_tcp", "util_app"});
+  for (FreqKhz f : StackFrequencySweep()) {
+    const BulkResult r = MeasureBulkTx({}, [f](Testbed& tb) {
+      DedicatedSlowPlan(*tb.stack(), f, 3'600'000 * kKhz).Apply(tb.machine());
+    });
+    t.AddRow({GhzStr(f), Table::Num(r.goodput_gbps, 2), Table::Pct(r.core_util[1]),
+              Table::Pct(r.core_util[2]), Table::Pct(r.core_util[3]),
+              Table::Pct(r.core_util[0])});
+  }
+  t.Print(std::cout, "Fig.3 — per-stage core utilization vs. system-core frequency");
+  t.WriteCsvFile(CsvPath(argv0, "fig3_stage_utilization"));
+}
+
+}  // namespace
+}  // namespace newtos
+
+int main(int, char** argv) {
+  newtos::Run(argv[0]);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 9 — Heterogeneous multicores: the stack on truly wimpy cores.
+//
+// The title experiment. A big.LITTLE machine (2 big out-of-order cores + 3
+// little in-order cores) steers all system servers onto the little cores and
+// keeps the big cores for applications. Compared against the homogeneous
+// all-big machine on the same workloads.
+//
+// Expected shape: at 1.6 GHz the little cores carry bulk TCP within a few
+// percent of line rate (Fig. 2's knee is below 1.6), at a fraction of the
+// big-core power — heterogeneous silicon gives reliability's cycles away
+// almost for free. Halving the little cores' clock again (0.8 GHz) finally
+// drops goodput, bounding how wimpy is wimpy enough.
+
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/core/steering.h"
+#include "src/metrics/table.h"
+
+namespace newtos {
+namespace {
+
+void AddRow(Table& t, const std::string& name, const BulkResult& r) {
+  t.AddRow({name, Table::Num(r.goodput_gbps, 2), Table::Num(r.avg_pkg_watts, 1),
+            Table::Num(r.goodput_gbps > 0 ? r.avg_pkg_watts / r.goodput_gbps : 0.0, 2)});
+}
+
+void Run(const char* argv0) {
+  Table t({"machine / plan", "goodput_gbps", "pkg_watts", "J_per_gbit"});
+
+  // Homogeneous baselines.
+  AddRow(t, "5 big, dedicated @3.6", MeasureBulkTx({}, [](Testbed& tb) {
+           DedicatedPlan(*tb.stack(), 3'600'000 * kKhz).Apply(tb.machine());
+         }));
+  AddRow(t, "5 big, dedicated @1.6", MeasureBulkTx({}, [](Testbed& tb) {
+           DedicatedSlowPlan(*tb.stack(), 1'600'000 * kKhz, 3'600'000 * kKhz)
+               .Apply(tb.machine());
+         }));
+
+  // Heterogeneous: 2 big + 3 wimpy, stack on the wimpies.
+  for (FreqKhz wf : {1'600'000 * kKhz, 1'200'000 * kKhz, 800'000 * kKhz}) {
+    TestbedOptions opt;
+    opt.machine = BigLittleParams(2, 3);
+    AddRow(t, "2 big + 3 wimpy, stack on wimpy @" + GhzStr(wf),
+           MeasureBulkTx(opt, [wf](Testbed& tb) {
+             WimpyStackPlan(*tb.stack(), wf, 3'600'000 * kKhz).Apply(tb.machine());
+             // Spare big core idles in a sleep state.
+             tb.machine().core(1)->SetIdleActivity(CoreActivity::kHalted);
+           }));
+  }
+
+  t.Print(std::cout, "Fig.9 — heterogeneous multicore: system servers on little cores");
+  t.WriteCsvFile(CsvPath(argv0, "fig9_wimpy_cores"));
+}
+
+}  // namespace
+}  // namespace newtos
+
+int main(int, char** argv) {
+  newtos::Run(argv[0]);
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "src/chan/kernel_ipc.h"
+
+#include <cmath>
+
+namespace newtos {
+
+Cycles KernelIpcCosts::OneWayCycles(size_t bytes) const {
+  const Cycles copy =
+      kernel_copy_setup_cycles + static_cast<Cycles>(std::llround(copy_cycles_per_byte *
+                                                                  static_cast<double>(bytes)));
+  // Sender traps, kernel copies, scheduler switches to the receiver, which
+  // returns from its blocked receive (second trap exit is folded into
+  // trap_cycles).
+  return 2 * trap_cycles + context_switch_cycles + copy;
+}
+
+Cycles KernelIpcCosts::RoundTripCycles(size_t bytes) const { return 2 * OneWayCycles(bytes); }
+
+Cycles ChannelOneWayCycles(const ChannelCostModel& cost, size_t bytes,
+                           double copy_cycles_per_byte) {
+  return cost.enqueue_cycles + cost.dequeue_cycles +
+         static_cast<Cycles>(std::llround(copy_cycles_per_byte * static_cast<double>(bytes)));
+}
+
+}  // namespace newtos

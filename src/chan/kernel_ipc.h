@@ -1,0 +1,42 @@
+// Cost model of synchronous kernel IPC (the mechanism the channels replace).
+//
+// Classic multiserver systems route every inter-server message through the
+// kernel: trap, argument copy, scheduler hand-off, context switch, and the
+// same again for the reply. The paper's motivation is the gap between this
+// and polled user-space channels; Fig. 1 regenerates that comparison using
+// these constants and a simulated ping-pong on two cores.
+
+#ifndef SRC_CHAN_KERNEL_IPC_H_
+#define SRC_CHAN_KERNEL_IPC_H_
+
+#include <cstddef>
+
+#include "src/chan/sim_channel.h"
+#include "src/sim/time.h"
+
+namespace newtos {
+
+struct KernelIpcCosts {
+  Cycles trap_cycles = 700;            // user->kernel entry + exit
+  Cycles context_switch_cycles = 1700; // address-space switch + scheduler
+  Cycles kernel_copy_setup_cycles = 250;
+  double copy_cycles_per_byte = 0.5;   // message body copy through the kernel
+
+  // One-way cost of delivering a `bytes`-sized message to another process.
+  Cycles OneWayCycles(size_t bytes) const;
+
+  // Full request/reply rendezvous (two one-ways).
+  Cycles RoundTripCycles(size_t bytes) const;
+};
+
+// One-way cost of the asynchronous channel path for comparison: enqueue on
+// the producer plus dequeue on the consumer (no kernel involvement; the
+// copy stays in shared memory, so only the cache-line transfers matter —
+// folded into the per-op constants for small messages, plus a per-byte term
+// for larger payloads).
+Cycles ChannelOneWayCycles(const ChannelCostModel& cost, size_t bytes,
+                           double copy_cycles_per_byte = 0.25);
+
+}  // namespace newtos
+
+#endif  // SRC_CHAN_KERNEL_IPC_H_

@@ -1,0 +1,49 @@
+#include "src/core/poll_policy.h"
+
+namespace newtos {
+
+void PollPolicy::Manage(Core* core, std::vector<Server*> servers) {
+  cores_.push_back(std::make_unique<ManagedCore>());
+  ManagedCore* mc = cores_.back().get();
+  mc->core = core;
+  mc->servers = std::move(servers);
+
+  if (mode_ == PollMode::kPollAlways) {
+    core->SetIdleActivity(CoreActivity::kPolling);
+    return;  // nothing to observe
+  }
+
+  for (Server* s : mc->servers) {
+    s->SetIdleObserver([this, mc](bool) { OnIdleChange(mc); });
+  }
+  OnIdleChange(mc);  // initialize
+}
+
+bool PollPolicy::AllIdle(const ManagedCore& mc) {
+  for (Server* s : mc.servers) {
+    if (!s->Idle()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PollPolicy::OnIdleChange(ManagedCore* mc) {
+  if (AllIdle(*mc)) {
+    if (!mc->halt_timer.pending() && mc->core->idle_activity() != CoreActivity::kHalted) {
+      mc->halt_timer = sim_->Schedule(halt_after_, [this, mc] {
+        if (AllIdle(*mc)) {
+          mc->core->SetIdleActivity(CoreActivity::kHalted);
+          ++halts_;
+        }
+      });
+    }
+  } else {
+    mc->halt_timer.Cancel();
+    if (mc->core->idle_activity() == CoreActivity::kHalted) {
+      mc->core->SetIdleActivity(CoreActivity::kPolling);
+    }
+  }
+}
+
+}  // namespace newtos

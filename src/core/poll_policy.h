@@ -1,0 +1,61 @@
+// PollPolicy: poll-always vs. queue-aware halting for system cores.
+//
+// NewtOS's fast path polls: a dedicated core spins on its channels and never
+// sleeps — minimum latency, maximum energy. The alternative the paper
+// examines monitors the queues and halts the core after a grace period of
+// emptiness; the next message pays a wake-up latency. Fig. 7 sweeps offered
+// load and compares the two on both throughput and watts.
+
+#ifndef SRC_CORE_POLL_POLICY_H_
+#define SRC_CORE_POLL_POLICY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/hw/cpu.h"
+#include "src/os/server.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/simulation.h"
+
+namespace newtos {
+
+enum class PollMode {
+  kPollAlways,    // idle cores spin at full power (NewtOS default)
+  kHaltWhenIdle,  // idle cores halt after a grace period; wake costs latency
+};
+
+class PollPolicy {
+ public:
+  PollPolicy(Simulation* sim, PollMode mode, SimTime halt_after = 5 * kMicrosecond)
+      : sim_(sim), mode_(mode), halt_after_(halt_after) {}
+
+  PollPolicy(const PollPolicy&) = delete;
+  PollPolicy& operator=(const PollPolicy&) = delete;
+
+  // Takes over idle management of `core`, watching the servers bound to it.
+  // Installs itself as each server's idle observer.
+  void Manage(Core* core, std::vector<Server*> servers);
+
+  PollMode mode() const { return mode_; }
+  uint64_t halts() const { return halts_; }
+
+ private:
+  struct ManagedCore {
+    Core* core = nullptr;
+    std::vector<Server*> servers;
+    EventHandle halt_timer;
+  };
+
+  void OnIdleChange(ManagedCore* mc);
+  static bool AllIdle(const ManagedCore& mc);
+
+  Simulation* sim_;
+  PollMode mode_;
+  SimTime halt_after_;
+  std::vector<std::unique_ptr<ManagedCore>> cores_;
+  uint64_t halts_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_CORE_POLL_POLICY_H_

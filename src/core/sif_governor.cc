@@ -1,0 +1,101 @@
+#include "src/core/sif_governor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/sim/logger.h"
+
+namespace newtos {
+
+SifGovernor::SifGovernor(Simulation* sim, Machine* machine, std::vector<Core*> system_cores,
+                         std::vector<Core*> app_cores, SifParams params)
+    : sim_(sim),
+      machine_(machine),
+      system_cores_(std::move(system_cores)),
+      app_cores_(std::move(app_cores)),
+      params_(params),
+      turbo_(machine, params.budget_watts) {
+  last_busy_.resize(system_cores_.size(), 0);
+}
+
+void SifGovernor::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  for (size_t i = 0; i < system_cores_.size(); ++i) {
+    last_busy_[i] = system_cores_[i]->busy_time();
+  }
+  Rebalance();
+  tick_ = sim_->Schedule(params_.period, [this] { Tick(); });
+}
+
+void SifGovernor::Stop() {
+  running_ = false;
+  tick_.Cancel();
+}
+
+void SifGovernor::Rebalance() {
+  std::vector<std::pair<Core*, FreqKhz>> fixed;
+  fixed.reserve(system_cores_.size());
+  for (Core* c : system_cores_) {
+    fixed.emplace_back(c, c->frequency());
+  }
+  const double provisioned = turbo_.Apply(fixed, app_cores_);
+
+  Sample s;
+  s.at = sim_->Now();
+  for (Core* c : system_cores_) {
+    s.system_freq.push_back(c->frequency());
+  }
+  s.system_util.resize(system_cores_.size(), 0.0);
+  s.app_freq = app_cores_.empty() ? 0 : app_cores_.front()->frequency();
+  s.provisioned_watts = provisioned;
+  history_.push_back(std::move(s));
+}
+
+void SifGovernor::Tick() {
+  if (!running_) {
+    return;
+  }
+  bool changed = false;
+  std::vector<double> utils(system_cores_.size());
+  for (size_t i = 0; i < system_cores_.size(); ++i) {
+    Core* c = system_cores_[i];
+    const SimTime busy = c->busy_time();
+    const double util =
+        std::clamp(static_cast<double>(busy - last_busy_[i]) / static_cast<double>(params_.period),
+                   0.0, 1.0);
+    last_busy_[i] = busy;
+    utils[i] = util;
+
+    // Locate the current OP in the table and step one bin.
+    const auto& table = c->table();
+    size_t idx = 0;
+    for (size_t k = 0; k < table.size(); ++k) {
+      if (table[k].freq == c->frequency()) {
+        idx = k;
+        break;
+      }
+    }
+    if (util > params_.util_hi && idx > 0) {
+      c->SetFrequency(table[idx - 1].freq);  // faster
+      changed = true;
+    } else if (util < params_.util_lo && idx + 1 < table.size()) {
+      c->SetFrequency(table[idx + 1].freq);  // slower
+      changed = true;
+    }
+  }
+
+  Rebalance();
+  if (!history_.empty()) {
+    history_.back().system_util = utils;
+  }
+  if (changed) {
+    NEWTOS_LOG(kDebug, sim_->Now(), "sif", "re-steered; provisioned "
+                                               << history_.back().provisioned_watts << " W");
+  }
+  tick_ = sim_->Schedule(params_.period, [this] { Tick(); });
+}
+
+}  // namespace newtos

@@ -1,0 +1,68 @@
+// SifGovernor: the adaptive "slower is faster" frequency controller.
+//
+// Periodically measures the utilization of each system core and walks its
+// operating point down while it has headroom (utilization below util_lo) or
+// back up when it is close to saturating (above util_hi). After every
+// adjustment the TurboGovernor re-spends the freed budget on the application
+// cores. The closed loop converges to: system cores just fast enough for the
+// offered load, applications boosted with the remainder — the paper's
+// steady state.
+
+#ifndef SRC_CORE_SIF_GOVERNOR_H_
+#define SRC_CORE_SIF_GOVERNOR_H_
+
+#include <vector>
+
+#include "src/core/turbo.h"
+#include "src/hw/machine.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/simulation.h"
+
+namespace newtos {
+
+struct SifParams {
+  SimTime period = 2 * kMillisecond;  // control interval
+  double util_hi = 0.85;              // step frequency up above this
+  double util_lo = 0.60;              // step frequency down below this
+  double budget_watts = 0.0;          // 0 -> machine's package budget
+};
+
+class SifGovernor {
+ public:
+  struct Sample {
+    SimTime at = 0;
+    std::vector<FreqKhz> system_freq;  // one per system core
+    std::vector<double> system_util;
+    FreqKhz app_freq = 0;              // first app core (they move together)
+    double provisioned_watts = 0.0;
+  };
+
+  SifGovernor(Simulation* sim, Machine* machine, std::vector<Core*> system_cores,
+              std::vector<Core*> app_cores, SifParams params = {});
+
+  void Start();
+  void Stop();
+
+  const std::vector<Sample>& history() const { return history_; }
+  bool running() const { return running_; }
+
+ private:
+  void Tick();
+  void Rebalance();
+
+  Simulation* sim_;
+  Machine* machine_;
+  std::vector<Core*> system_cores_;
+  std::vector<Core*> app_cores_;
+  SifParams params_;
+  TurboGovernor turbo_;
+
+  std::vector<SimTime> last_busy_;  // per system core, busy_time at last tick
+  std::vector<Sample> history_;
+  EventHandle tick_;
+  bool running_ = false;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_CORE_SIF_GOVERNOR_H_

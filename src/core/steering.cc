@@ -1,0 +1,110 @@
+#include "src/core/steering.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace newtos {
+
+void SteeringPlan::Apply(Machine& machine) const {
+  for (const Placement& p : placements) {
+    assert(p.core_index < machine.num_cores());
+    p.server->BindCore(machine.core(p.core_index));
+  }
+  for (const FrequencyAssignment& f : frequencies) {
+    machine.core(f.core_index)->SetFrequency(f.freq);
+  }
+}
+
+namespace {
+
+// Shared placement skeleton used by the dedicated plans.
+std::vector<Placement> DedicatedPlacements(MultiserverStack& stack) {
+  std::vector<Placement> p;
+  p.push_back({stack.driver(), 1});
+  p.push_back({stack.ip(), 2});
+  if (stack.pf() != nullptr) {
+    p.push_back({stack.pf(), 2});
+  }
+  for (int i = 0; i < stack.tcp_shard_count(); ++i) {
+    p.push_back({stack.tcp_shard(i), 3});
+  }
+  p.push_back({stack.udp(), 3});
+  if (stack.syscall() != nullptr) {
+    p.push_back({stack.syscall(), 3});
+  }
+  return p;
+}
+
+}  // namespace
+
+SteeringPlan DedicatedPlan(MultiserverStack& stack, FreqKhz all_freq) {
+  SteeringPlan plan;
+  plan.name = "dedicated";
+  plan.placements = DedicatedPlacements(stack);
+  const int n = stack.machine()->num_cores();
+  for (int i = 0; i < n; ++i) {
+    plan.frequencies.push_back({i, all_freq});
+  }
+  return plan;
+}
+
+SteeringPlan DedicatedSlowPlan(MultiserverStack& stack, FreqKhz system_freq, FreqKhz app_freq) {
+  SteeringPlan plan;
+  plan.name = "dedicated-slow";
+  plan.placements = DedicatedPlacements(stack);
+  const int n = stack.machine()->num_cores();
+  for (int i = 0; i < n; ++i) {
+    const bool is_system = i >= 1 && i <= 3;
+    plan.frequencies.push_back({i, is_system ? system_freq : app_freq});
+  }
+  return plan;
+}
+
+SteeringPlan ConsolidatedPlan(MultiserverStack& stack, int system_core, FreqKhz system_freq,
+                              FreqKhz app_freq) {
+  SteeringPlan plan;
+  plan.name = "consolidated";
+  for (Server* s : stack.SystemServers()) {
+    plan.placements.push_back({s, system_core});
+  }
+  const int n = stack.machine()->num_cores();
+  for (int i = 0; i < n; ++i) {
+    plan.frequencies.push_back({i, i == system_core ? system_freq : app_freq});
+  }
+  return plan;
+}
+
+SteeringPlan WimpyStackPlan(MultiserverStack& stack, FreqKhz wimpy_freq, FreqKhz app_freq) {
+  SteeringPlan plan;
+  plan.name = "wimpy-stack";
+  plan.placements.push_back({stack.driver(), 2});
+  plan.placements.push_back({stack.ip(), 3});
+  if (stack.pf() != nullptr) {
+    plan.placements.push_back({stack.pf(), 3});
+  }
+  for (int i = 0; i < stack.tcp_shard_count(); ++i) {
+    plan.placements.push_back({stack.tcp_shard(i), 4});
+  }
+  plan.placements.push_back({stack.udp(), 4});
+  if (stack.syscall() != nullptr) {
+    plan.placements.push_back({stack.syscall(), 4});
+  }
+  const int n = stack.machine()->num_cores();
+  for (int i = 0; i < n; ++i) {
+    plan.frequencies.push_back({i, i >= 2 ? wimpy_freq : app_freq});
+  }
+  return plan;
+}
+
+std::vector<int> SystemCores(const SteeringPlan& plan) {
+  std::vector<int> cores;
+  for (const Placement& p : plan.placements) {
+    if (std::find(cores.begin(), cores.end(), p.core_index) == cores.end()) {
+      cores.push_back(p.core_index);
+    }
+  }
+  std::sort(cores.begin(), cores.end());
+  return cores;
+}
+
+}  // namespace newtos

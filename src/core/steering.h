@@ -1,0 +1,66 @@
+// Core steering: which server runs where, and how fast that core runs.
+//
+// This module is the paper's subject. A SteeringPlan assigns stack servers
+// to cores and pins per-core frequencies; builders produce the layouts the
+// evaluation compares:
+//   * Dedicated      — one big core per stage (NewtOS's original design)
+//   * DedicatedSlow  — one core per stage, system cores frequency-scaled
+//   * Consolidated   — every system server packed onto one (slow) core
+// The reliability property (isolation + microreboot) is identical across
+// plans; only performance and power move.
+
+#ifndef SRC_CORE_STEERING_H_
+#define SRC_CORE_STEERING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/os/stack.h"
+
+namespace newtos {
+
+struct Placement {
+  Server* server = nullptr;
+  int core_index = 0;
+};
+
+struct FrequencyAssignment {
+  int core_index = 0;
+  FreqKhz freq = 0;
+};
+
+struct SteeringPlan {
+  std::string name;
+  std::vector<Placement> placements;
+  std::vector<FrequencyAssignment> frequencies;
+
+  // Binds servers and sets frequencies. Safe to apply while idle.
+  void Apply(Machine& machine) const;
+};
+
+// One core per stage: driver->1, ip(+pf)->2, tcp(+udp,+gateway)->3; all
+// cores (system and app alike) at `all_freq`.
+SteeringPlan DedicatedPlan(MultiserverStack& stack, FreqKhz all_freq);
+
+// Dedicated placement, but system cores at `system_freq` while the app
+// core(s) stay at `app_freq` — the paper's frequency-sweep configuration.
+SteeringPlan DedicatedSlowPlan(MultiserverStack& stack, FreqKhz system_freq, FreqKhz app_freq);
+
+// Every system server on `system_core` at `system_freq`; apps keep
+// `app_freq`. The packing the paper proposes once slow cores are fast
+// enough for the whole stack.
+SteeringPlan ConsolidatedPlan(MultiserverStack& stack, int system_core, FreqKhz system_freq,
+                              FreqKhz app_freq);
+
+// Heterogeneous placement for a BigLittleParams(2, 3) machine: applications
+// on big core 0 (big core 1 spare), driver on wimpy core 2, IP(+PF) on wimpy
+// core 3, TCP(+UDP, +gateway) on wimpy core 4, all wimpies at `wimpy_freq`.
+SteeringPlan WimpyStackPlan(MultiserverStack& stack, FreqKhz wimpy_freq, FreqKhz app_freq);
+
+// Indices of the cores that host system servers in `plan`.
+std::vector<int> SystemCores(const SteeringPlan& plan);
+
+}  // namespace newtos
+
+#endif  // SRC_CORE_STEERING_H_

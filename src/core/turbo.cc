@@ -1,0 +1,66 @@
+#include "src/core/turbo.h"
+
+#include <cassert>
+
+namespace newtos {
+
+TurboGovernor::TurboGovernor(Machine* machine, double budget_watts)
+    : machine_(machine),
+      budget_(budget_watts > 0.0 ? budget_watts : machine->chip_power_budget_watts()) {}
+
+double TurboGovernor::ProvisionedWatts() const {
+  const PowerModel& pm = machine_->power_model();
+  double w = pm.uncore_watts();
+  for (int i = 0; i < machine_->num_cores(); ++i) {
+    w += pm.PeakWatts(machine_->core(i)->operating_point());
+  }
+  return w;
+}
+
+double TurboGovernor::Apply(const std::vector<std::pair<Core*, FreqKhz>>& fixed,
+                            const std::vector<Core*>& boost) {
+  const PowerModel& pm = machine_->power_model();
+
+  for (const auto& [core, freq] : fixed) {
+    core->SetFrequency(freq);
+  }
+
+  // Committed draw: uncore + fixed cores + non-participating cores at their
+  // current OPs.
+  double committed = pm.uncore_watts();
+  for (int i = 0; i < machine_->num_cores(); ++i) {
+    Core* c = machine_->core(i);
+    bool is_boost = false;
+    for (Core* b : boost) {
+      if (b == c) {
+        is_boost = true;
+        break;
+      }
+    }
+    if (!is_boost) {
+      committed += pm.PeakWatts(c->operating_point());
+    }
+  }
+
+  // Grant boost cores in priority order; later cores are provisioned at
+  // their floor while earlier ones pick.
+  for (size_t i = 0; i < boost.size(); ++i) {
+    Core* c = boost[i];
+    double floor_later = 0.0;
+    for (size_t j = i + 1; j < boost.size(); ++j) {
+      floor_later += pm.PeakWatts(boost[j]->table().back());
+    }
+    const OperatingPoint* chosen = &c->table().back();
+    for (const OperatingPoint& op : c->table()) {  // descending frequency
+      if (committed + pm.PeakWatts(op) + floor_later <= budget_) {
+        chosen = &op;
+        break;
+      }
+    }
+    c->SetFrequency(chosen->freq);
+    committed += pm.PeakWatts(c->operating_point());
+  }
+  return committed;
+}
+
+}  // namespace newtos

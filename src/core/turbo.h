@@ -1,0 +1,44 @@
+// TurboGovernor: redistributes a fixed package power budget across cores.
+//
+// This is the mechanism behind "slower is faster": every watt a system core
+// does not draw is a watt an application core can convert into a higher
+// boost bin. The governor provisions for worst-case (busy) draw at each
+// core's operating point — like real turbo licensing, which must assume the
+// core can be fully active.
+
+#ifndef SRC_CORE_TURBO_H_
+#define SRC_CORE_TURBO_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/hw/machine.h"
+
+namespace newtos {
+
+class TurboGovernor {
+ public:
+  // Budget defaults to the machine's configured package budget.
+  explicit TurboGovernor(Machine* machine, double budget_watts = 0.0);
+
+  // Pins `fixed` cores to the given frequencies, then grants each core in
+  // `boost` (in priority order) the highest operating point that keeps the
+  // provisioned package draw (uncore + every core busy at its OP) within
+  // budget, assuming cores later in the list run at their lowest OP.
+  // Returns the provisioned draw after assignment.
+  double Apply(const std::vector<std::pair<Core*, FreqKhz>>& fixed,
+               const std::vector<Core*>& boost);
+
+  // Provisioned package draw for the machine's current OPs (all cores busy).
+  double ProvisionedWatts() const;
+
+  double budget_watts() const { return budget_; }
+
+ private:
+  Machine* machine_;
+  double budget_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_CORE_TURBO_H_

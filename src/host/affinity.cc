@@ -1,0 +1,25 @@
+#include "src/host/affinity.h"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+namespace newtos {
+
+int AvailableCpuCount() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+bool PinThisThreadToCpu(int cpu) {
+  const int ncpu = AvailableCpuCount();
+  if (ncpu <= 0) {
+    return false;
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % ncpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+}  // namespace newtos

@@ -1,0 +1,122 @@
+#include "src/host/pipeline.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/chan/spsc_ring.h"
+#include "src/host/affinity.h"
+
+namespace newtos {
+namespace {
+
+// Tokens carry a sentinel-terminated stream; kStop flushes the pipeline.
+constexpr uint64_t kStop = ~uint64_t{0};
+
+void SpinWork(uint64_t iterations, uint64_t& acc) {
+  for (uint64_t i = 0; i < iterations; ++i) {
+    acc = acc * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+}
+
+}  // namespace
+
+PipelineResult RunPipeline(const PipelineParams& params) {
+  const int interior = params.stages > 0 ? params.stages : 0;
+  const int rings_n = interior + 1;  // producer->s1->...->sN->consumer
+  std::vector<std::unique_ptr<SpscRing<uint64_t>>> rings;
+  rings.reserve(static_cast<size_t>(rings_n));
+  for (int i = 0; i < rings_n; ++i) {
+    rings.push_back(std::make_unique<SpscRing<uint64_t>>(params.ring_capacity));
+  }
+
+  std::atomic<uint64_t> final_checksum{0};
+  std::atomic<uint64_t> consumed{0};
+  std::vector<std::thread> threads;
+
+  // Interior stages: pop from ring[i], do work, push to ring[i+1].
+  for (int s = 0; s < interior; ++s) {
+    threads.emplace_back([&, s] {
+      if (params.pin_threads) {
+        PinThisThreadToCpu(s + 1);
+      }
+      SpscRing<uint64_t>& in = *rings[static_cast<size_t>(s)];
+      SpscRing<uint64_t>& out = *rings[static_cast<size_t>(s) + 1];
+      uint64_t acc = 0;
+      for (;;) {
+        auto v = in.TryPop();
+        if (!v) {
+          std::this_thread::yield();
+          continue;
+        }
+        if (*v == kStop) {
+          while (!out.TryPush(kStop)) {
+            std::this_thread::yield();
+          }
+          break;
+        }
+        SpinWork(params.work_per_stage, acc);
+        const uint64_t token = *v ^ (acc & 0xff);
+        while (!out.TryPush(token)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Consumer.
+  threads.emplace_back([&] {
+    if (params.pin_threads) {
+      PinThisThreadToCpu(interior + 1);
+    }
+    SpscRing<uint64_t>& in = *rings.back();
+    uint64_t sum = 0;
+    uint64_t n = 0;
+    for (;;) {
+      auto v = in.TryPop();
+      if (!v) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (*v == kStop) {
+        break;
+      }
+      sum += *v;
+      ++n;
+    }
+    final_checksum.store(sum, std::memory_order_relaxed);
+    consumed.store(n, std::memory_order_relaxed);
+  });
+
+  // Producer runs on the calling thread.
+  if (params.pin_threads) {
+    PinThisThreadToCpu(0);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  {
+    SpscRing<uint64_t>& out = *rings.front();
+    for (uint64_t i = 0; i < params.messages; ++i) {
+      while (!out.TryPush(i)) {
+        std::this_thread::yield();
+      }
+    }
+    while (!out.TryPush(kStop)) {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  PipelineResult r;
+  r.messages = consumed.load(std::memory_order_relaxed);
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.msgs_per_sec = r.seconds > 0.0 ? static_cast<double>(r.messages) / r.seconds : 0.0;
+  r.checksum = final_checksum.load(std::memory_order_relaxed);
+  return r;
+}
+
+}  // namespace newtos

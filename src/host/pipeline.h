@@ -1,0 +1,38 @@
+// RealPipeline: the userspace affinity proxy, on real threads.
+//
+// Mirrors the multiserver fast path with actual concurrency: stage threads
+// (optionally pinned to distinct CPUs) pass tokens through real SpscRing
+// channels, driver -> ip -> tcp style. Used by the Tab. 3 microbenchmark and
+// by stress tests that hammer the rings under true parallelism. Per-stage
+// synthetic work (spin iterations) stands in for protocol cycles.
+
+#ifndef SRC_HOST_PIPELINE_H_
+#define SRC_HOST_PIPELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace newtos {
+
+struct PipelineParams {
+  int stages = 3;               // interior stages between producer and consumer
+  size_t ring_capacity = 1024;
+  uint64_t messages = 1'000'000;
+  uint64_t work_per_stage = 0;  // spin iterations per message per stage
+  bool pin_threads = false;     // pin each stage to its own CPU when possible
+};
+
+struct PipelineResult {
+  uint64_t messages = 0;
+  double seconds = 0.0;
+  double msgs_per_sec = 0.0;
+  uint64_t checksum = 0;  // fold of all payloads: proves nothing was lost
+};
+
+// Runs the pipeline to completion and reports throughput. Thread-safe to
+// call repeatedly (each call builds a fresh pipeline).
+PipelineResult RunPipeline(const PipelineParams& params);
+
+}  // namespace newtos
+
+#endif  // SRC_HOST_PIPELINE_H_

@@ -1,0 +1,97 @@
+#include "src/hw/cpu.h"
+
+#include <cassert>
+#include <utility>
+
+namespace newtos {
+
+Core::Core(Simulation* sim, int id, std::string name, std::vector<OperatingPoint> table,
+           const PowerModel* power_model)
+    : sim_(sim),
+      id_(id),
+      name_(std::move(name)),
+      table_(std::move(table)),
+      power_model_(power_model),
+      meter_(sim->Now()) {
+  assert(!table_.empty());
+  op_ = table_.front();
+  UpdatePower();
+}
+
+void Core::SetFrequency(FreqKhz want) {
+  const OperatingPoint& next = PickOperatingPoint(table_, want);
+  if (next == op_) {
+    return;  // no transition, no stall
+  }
+  op_ = next;
+  ++dvfs_transitions_;
+  if (dvfs_latency_ > 0) {
+    // The relock stall occupies the core like a work item: anything queued
+    // (or arriving) waits it out.
+    const SimTime now = sim_->Now();
+    const SimTime start = busy() ? busy_until_ : now;
+    busy_until_ = start + dvfs_latency_;
+    ++outstanding_;
+    sim_->ScheduleAt(busy_until_, [this] {
+      --outstanding_;
+      UpdatePower();
+    });
+  }
+  UpdatePower();
+}
+
+SimTime Core::EstimateCompletion(Cycles cycles) const {
+  const SimTime now = sim_->Now();
+  SimTime start = busy() ? busy_until_ : now;
+  if (!busy() && idle_activity_ == CoreActivity::kHalted) {
+    start += halt_wake_latency_;
+  }
+  return start + CyclesToTime(cycles, op_.freq);
+}
+
+SimTime Core::Execute(Cycles cycles, std::function<void()> done) {
+  assert(cycles >= 0);
+  const SimTime completion = EstimateCompletion(cycles);
+  busy_until_ = completion;
+  ++outstanding_;
+  busy_time_ += CyclesToTime(cycles, op_.freq);
+  busy_cycles_ += cycles;
+  ++work_items_;
+  UpdatePower();
+  sim_->ScheduleAt(completion, [this, done = std::move(done)]() {
+    --outstanding_;
+    assert(outstanding_ >= 0);
+    UpdatePower();
+    if (done) {
+      done();
+    }
+  });
+  return completion;
+}
+
+void Core::SetIdleActivity(CoreActivity activity) {
+  assert(activity != CoreActivity::kBusy);
+  idle_activity_ = activity;
+  UpdatePower();
+}
+
+double Core::UtilizationSince(SimTime window_start, SimTime now) const {
+  if (now <= window_start) {
+    return 0.0;
+  }
+  // busy_time_ accrues from stats_reset_at_; callers pass window_start >=
+  // stats_reset_at_ for exact numbers (benches reset after warm-up).
+  return static_cast<double>(busy_time_) / static_cast<double>(now - window_start);
+}
+
+void Core::ResetStatsAt(SimTime now) {
+  busy_time_ = 0;
+  busy_cycles_ = 0;
+  work_items_ = 0;
+  stats_reset_at_ = now;
+  meter_.ResetAt(now);
+}
+
+void Core::UpdatePower() { meter_.SetPower(CurrentWatts(), sim_->Now()); }
+
+}  // namespace newtos

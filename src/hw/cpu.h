@@ -1,0 +1,146 @@
+// A simulated CPU core: a serial work executor with DVFS and power accounting.
+//
+// Model: a core executes work items (cycle counts) strictly in FIFO order.
+// Callers hand in `cycles` and a completion callback; the core converts
+// cycles to time at its *current* operating point and schedules completion.
+// Frequency changes therefore apply to work submitted after the change —
+// a good approximation, since DVFS transitions are rare relative to work
+// items (microseconds vs. hundreds of nanoseconds).
+//
+// When a core has no queued work it is "idle". What idle means physically is
+// set by SetIdleActivity: kPolling (spinning on channels at full dynamic
+// power — NewtOS's default fast path) or kHalted (sleep state: near-zero
+// power, but the next work item pays a wake latency). The polling-vs-halting
+// energy experiment (Fig. 7) is driven entirely by this knob.
+
+#ifndef SRC_HW_CPU_H_
+#define SRC_HW_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/hw/operating_point.h"
+#include "src/hw/power.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace newtos {
+
+class Core {
+ public:
+  // `power_model` must outlive the core. The core starts at the table's top
+  // (fastest) operating point, idle-polling.
+  Core(Simulation* sim, int id, std::string name, std::vector<OperatingPoint> table,
+       const PowerModel* power_model);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // --- DVFS ---
+
+  FreqKhz frequency() const { return op_.freq; }
+  const OperatingPoint& operating_point() const { return op_; }
+  const std::vector<OperatingPoint>& table() const { return table_; }
+
+  // Snaps to the highest operating point <= `want` (or the lowest available).
+  // A real transition stalls the core while the PLL relocks and the voltage
+  // ramps: when the operating point actually changes, the core is busy for
+  // `dvfs_transition_latency` before any queued work continues.
+  void SetFrequency(FreqKhz want);
+
+  // Transition stall; 0 disables (useful for unit tests of exact timings).
+  void set_dvfs_transition_latency(SimTime latency) { dvfs_latency_ = latency; }
+  SimTime dvfs_transition_latency() const { return dvfs_latency_; }
+  uint64_t dvfs_transitions() const { return dvfs_transitions_; }
+
+  // --- Work execution ---
+
+  // Queues `cycles` of work; `done` fires when it completes. Work is serial
+  // and FIFO. Returns the scheduled completion time.
+  SimTime Execute(Cycles cycles, std::function<void()> done);
+
+  // Completion time the next Execute() call would get, without queueing.
+  SimTime EstimateCompletion(Cycles cycles) const;
+
+  bool busy() const { return outstanding_ > 0; }
+
+  // --- Idle behaviour / power ---
+
+  // kPolling (default) or kHalted. kBusy is rejected.
+  void SetIdleActivity(CoreActivity activity);
+  CoreActivity idle_activity() const { return idle_activity_; }
+
+  // Activity right now (kBusy if work is queued, else the idle activity).
+  CoreActivity activity() const { return busy() ? CoreActivity::kBusy : idle_activity_; }
+
+  // Latency added to the first work item that arrives while halted & idle.
+  void set_halt_wake_latency(SimTime latency) { halt_wake_latency_ = latency; }
+  SimTime halt_wake_latency() const { return halt_wake_latency_; }
+
+  double CurrentWatts() const { return power_model_->CoreWatts(op_, activity()); }
+
+  // --- Tenant tracking (cache/TLB pollution between co-located servers) ---
+
+  // Records which logical tenant (server) is about to run. Returns true if
+  // it differs from the previous tenant — the caller then charges a
+  // cold-cache penalty. A core with a single tenant never pays.
+  bool SetTenant(const void* tenant) {
+    const bool changed = tenant != last_tenant_ && last_tenant_ != nullptr;
+    last_tenant_ = tenant;
+    return changed;
+  }
+  uint64_t tenant_switches() const { return tenant_switches_; }
+  void CountTenantSwitch() { ++tenant_switches_; }
+
+  // Energy consumed by this core up to `now`.
+  double JoulesAt(SimTime now) const { return meter_.JoulesAt(now); }
+
+  // --- Statistics ---
+
+  // Cumulative time/cycles of useful (busy) work since construction or the
+  // last ResetStats. Accrued when work is *queued* (see header comment).
+  SimTime busy_time() const { return busy_time_; }
+  Cycles busy_cycles() const { return busy_cycles_; }
+  uint64_t work_items() const { return work_items_; }
+
+  // Fraction of wall time spent busy in [window_start, now].
+  double UtilizationSince(SimTime window_start, SimTime now) const;
+
+  // Zeros busy counters and the energy accumulator at `now` (post-warm-up).
+  void ResetStatsAt(SimTime now);
+
+ private:
+  void UpdatePower();
+
+  Simulation* sim_;
+  const int id_;
+  const std::string name_;
+  const std::vector<OperatingPoint> table_;
+  const PowerModel* power_model_;
+
+  OperatingPoint op_;
+  CoreActivity idle_activity_ = CoreActivity::kPolling;
+  SimTime halt_wake_latency_ = 5 * kMicrosecond;
+  SimTime dvfs_latency_ = 10 * kMicrosecond;
+  uint64_t dvfs_transitions_ = 0;
+
+  SimTime busy_until_ = 0;
+  int outstanding_ = 0;
+  const void* last_tenant_ = nullptr;
+  uint64_t tenant_switches_ = 0;
+
+  SimTime busy_time_ = 0;
+  Cycles busy_cycles_ = 0;
+  uint64_t work_items_ = 0;
+  SimTime stats_reset_at_ = 0;
+  EnergyMeter meter_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_HW_CPU_H_

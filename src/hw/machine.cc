@@ -1,0 +1,71 @@
+#include "src/hw/machine.h"
+
+#include <cassert>
+
+namespace newtos {
+
+Machine::Machine(Simulation* sim, std::string name, const Params& params)
+    : sim_(sim), name_(std::move(name)), params_(params), power_model_(params.power) {
+  assert(params_.num_cores > 0);
+  const std::vector<OperatingPoint> default_table =
+      params_.core_table.empty() ? BigCoreOperatingPoints() : params_.core_table;
+  cores_.reserve(static_cast<size_t>(params_.num_cores));
+  for (int i = 0; i < params_.num_cores; ++i) {
+    const std::vector<OperatingPoint>* table = &default_table;
+    for (const auto& [index, override_table] : params_.core_table_overrides) {
+      if (index == i) {
+        table = &override_table;
+        break;
+      }
+    }
+    cores_.push_back(std::make_unique<Core>(sim_, i, name_ + "/cpu" + std::to_string(i), *table,
+                                            &power_model_));
+    cores_.back()->SetFrequency(params_.initial_freq);
+  }
+  nic_ = std::make_unique<Nic>(sim_, name_ + "/nic0", params_.nic);
+  stats_reset_at_ = sim_->Now();
+}
+
+double Machine::PackageWatts() const {
+  double w = power_model_.uncore_watts();
+  for (const auto& c : cores_) {
+    w += c->CurrentWatts();
+  }
+  return w;
+}
+
+double Machine::PackageJoulesAt(SimTime now) const {
+  double j = power_model_.uncore_watts() * ToSeconds(now - stats_reset_at_);
+  for (const auto& c : cores_) {
+    j += c->JoulesAt(now);
+  }
+  return j;
+}
+
+void Machine::ResetStatsAt(SimTime now) {
+  stats_reset_at_ = now;
+  for (auto& c : cores_) {
+    c->ResetStatsAt(now);
+  }
+}
+
+bool Machine::IsHeterogeneousCore(int i) const {
+  for (const auto& [index, table] : params_.core_table_overrides) {
+    if (index == i) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Machine::Params BigLittleParams(int big, int wimpy) {
+  Machine::Params p;
+  p.num_cores = big + wimpy;
+  const auto little = WimpyCoreOperatingPoints();
+  for (int i = big; i < big + wimpy; ++i) {
+    p.core_table_overrides.emplace_back(i, little);
+  }
+  return p;
+}
+
+}  // namespace newtos

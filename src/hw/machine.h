@@ -1,0 +1,82 @@
+// Machine: cores + NIC + package power accounting, wired to one simulation.
+//
+// The default machine mirrors the class of testbed the paper used: a handful
+// of big cores with per-core DVFS, one 10 GbE NIC, and a package-level power
+// budget that a governor (src/core/sif_governor.h) can redistribute.
+
+#ifndef SRC_HW_MACHINE_H_
+#define SRC_HW_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hw/cpu.h"
+#include "src/hw/nic.h"
+#include "src/hw/operating_point.h"
+#include "src/hw/power.h"
+#include "src/sim/simulation.h"
+
+namespace newtos {
+
+class Machine {
+ public:
+  struct Params {
+    int num_cores = 5;
+    std::vector<OperatingPoint> core_table;  // empty -> BigCoreOperatingPoints()
+    // Heterogeneous machines: per-core table overrides (index -> table).
+    // Cores without an entry use core_table. See BigLittleParams().
+    std::vector<std::pair<int, std::vector<OperatingPoint>>> core_table_overrides;
+    PowerModelParams power;
+    double chip_power_budget_watts = 60.0;  // package TDP the governor enforces
+    FreqKhz initial_freq = 3'600'000 * kKhz;  // base clock (turbo points above it)
+    Nic::Params nic;
+  };
+
+  Machine(Simulation* sim, std::string name, const Params& params);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const std::string& name() const { return name_; }
+  Simulation* sim() const { return sim_; }
+
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  Core* core(int i) { return cores_[static_cast<size_t>(i)].get(); }
+  const Core* core(int i) const { return cores_[static_cast<size_t>(i)].get(); }
+
+  Nic* nic() { return nic_.get(); }
+  const PowerModel& power_model() const { return power_model_; }
+  double chip_power_budget_watts() const { return params_.chip_power_budget_watts; }
+
+  // Instantaneous package draw: all cores + uncore.
+  double PackageWatts() const;
+
+  // Package energy consumed up to `now` since construction/reset.
+  double PackageJoulesAt(SimTime now) const;
+
+  // Post-warm-up: zero all core stats and the uncore accumulator.
+  void ResetStatsAt(SimTime now);
+
+  // True if core `i` uses a table override (a "different kind" of core).
+  bool IsHeterogeneousCore(int i) const;
+
+ private:
+  Simulation* sim_;
+  std::string name_;
+  Params params_;
+  PowerModel power_model_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::unique_ptr<Nic> nic_;
+  SimTime stats_reset_at_ = 0;
+};
+
+// A big.LITTLE-style machine: `big` out-of-order cores (indices 0..big-1)
+// followed by `wimpy` in-order cores. The wimpy cores top out at 1.6 GHz and
+// draw far less power — the "heterogeneous multicores" of the paper's title,
+// where system servers are steered onto the little cores.
+Machine::Params BigLittleParams(int big, int wimpy);
+
+}  // namespace newtos
+
+#endif  // SRC_HW_MACHINE_H_

@@ -1,0 +1,106 @@
+#include "src/hw/nic.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "src/sim/logger.h"
+
+namespace newtos {
+
+Nic::Nic(Simulation* sim, std::string name, const Params& params)
+    : sim_(sim), name_(std::move(name)), params_(params), loss_rng_(1) {
+  assert(params_.line_rate_gbps > 0.0);
+}
+
+void Nic::AttachPeer(Nic* peer, SimTime propagation, double loss_prob, uint64_t loss_seed) {
+  peer_ = peer;
+  propagation_ = propagation;
+  loss_prob_ = loss_prob;
+  loss_rng_ = Rng(loss_seed);
+}
+
+SimTime Nic::SerializationTime(uint32_t frame_bytes) const {
+  const double bits = static_cast<double>(frame_bytes + params_.frame_overhead_bytes) * 8.0;
+  const double seconds = bits / (params_.line_rate_gbps * 1e9);
+  return static_cast<SimTime>(std::llround(seconds * static_cast<double>(kSecond)));
+}
+
+bool Nic::Transmit(PacketPtr p) {
+  if (tx_ring_.size() >= params_.tx_ring_slots) {
+    ++stats_.tx_ring_rejects;
+    return false;
+  }
+  tx_ring_.push_back(std::move(p));
+  if (!tx_in_progress_) {
+    StartNextTx();
+  }
+  return true;
+}
+
+void Nic::StartNextTx() {
+  if (tx_ring_.empty()) {
+    tx_in_progress_ = false;
+    return;
+  }
+  tx_in_progress_ = true;
+  PacketPtr p = tx_ring_.front();
+  tx_ring_.pop_front();
+  if (tap_) {
+    tap_(TapDirection::kTx, p);
+  }
+  const uint32_t frame_bytes = p->FrameBytes();
+  const SimTime serialize = SerializationTime(frame_bytes);
+  ++stats_.tx_packets;
+  stats_.tx_bytes += frame_bytes;
+
+  // The wire is occupied for the serialization time only; DMA latency delays
+  // each frame but pipelines with the next one's serialization.
+  sim_->Schedule(serialize, [this] { StartNextTx(); });
+  sim_->Schedule(params_.dma_latency + serialize, [this, p = std::move(p)]() mutable {
+    if (peer_ == nullptr) {
+      return;
+    }
+    const bool lost = loss_prob_ > 0.0 && loss_rng_.Bernoulli(loss_prob_);
+    if (lost) {
+      ++stats_.link_loss_drops;
+      return;
+    }
+    sim_->Schedule(propagation_, [peer = peer_, p = std::move(p)]() mutable {
+      peer->DeliverFromWire(std::move(p));
+    });
+  });
+}
+
+void Nic::DeliverFromWire(PacketPtr p) {
+  // RX-side DMA latency before the descriptor is host-visible.
+  sim_->Schedule(params_.dma_latency, [this, p = std::move(p)]() mutable {
+    if (rx_ring_.size() >= params_.rx_ring_slots) {
+      ++stats_.rx_ring_drops;
+      NEWTOS_LOG(kTrace, sim_->Now(), name_, "rx ring full, dropping " << p->ToString());
+      return;
+    }
+    const uint32_t frame_bytes = p->FrameBytes();
+    ++stats_.rx_packets;
+    stats_.rx_bytes += frame_bytes;
+    if (tap_) {
+      tap_(TapDirection::kRx, p);
+    }
+    const bool was_empty = rx_ring_.empty();
+    rx_ring_.push_back(std::move(p));
+    if (was_empty && rx_notify_) {
+      rx_notify_();
+    }
+  });
+}
+
+PacketPtr Nic::PollRx() {
+  if (rx_ring_.empty()) {
+    return nullptr;
+  }
+  PacketPtr p = std::move(rx_ring_.front());
+  rx_ring_.pop_front();
+  return p;
+}
+
+}  // namespace newtos

@@ -1,0 +1,117 @@
+// NIC and point-to-point link model.
+//
+// Each NIC has a TX ring and an RX ring (bounded descriptor rings, like real
+// DMA rings). Transmission serializes frames at line rate including Ethernet
+// preamble/FCS/IFG overhead; the link adds propagation delay and (optionally,
+// for protocol tests) random loss. A frame arriving at a full RX ring is
+// dropped — exactly the failure mode that appears when the driver core is too
+// slow to drain the ring, which is what the frequency-sweep experiments look
+// for.
+
+#ifndef SRC_HW_NIC_H_
+#define SRC_HW_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/net/packet.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+
+namespace newtos {
+
+class Nic {
+ public:
+  struct Params {
+    double line_rate_gbps = 10.0;
+    size_t tx_ring_slots = 1024;
+    size_t rx_ring_slots = 1024;
+    // Ethernet per-frame overhead on the wire: preamble(8) + FCS(4) + IFG(12).
+    uint32_t frame_overhead_bytes = 24;
+    // PCIe/DMA latency from "descriptor posted" to "bytes on the wire" and
+    // from "bytes off the wire" to "descriptor visible to the host".
+    SimTime dma_latency = 800 * kNanosecond;
+  };
+
+  struct Stats {
+    uint64_t tx_packets = 0;
+    uint64_t tx_bytes = 0;
+    uint64_t rx_packets = 0;
+    uint64_t rx_bytes = 0;
+    uint64_t rx_ring_drops = 0;
+    uint64_t tx_ring_rejects = 0;
+    uint64_t link_loss_drops = 0;
+  };
+
+  Nic(Simulation* sim, std::string name, const Params& params);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Params& params() const { return params_; }
+  const Stats& stats() const { return stats_; }
+
+  // Connects this NIC to `peer` with the given one-way propagation delay and
+  // per-frame loss probability (applied with `loss_rng` for determinism).
+  // Call on both NICs (links are full-duplex and may be asymmetric).
+  void AttachPeer(Nic* peer, SimTime propagation = 2 * kMicrosecond, double loss_prob = 0.0,
+                  uint64_t loss_seed = 1);
+
+  // --- Host TX side (called by the driver) ---
+
+  // Posts a frame for transmission. Returns false (and counts a reject) if
+  // the TX ring is full.
+  bool Transmit(PacketPtr p);
+
+  size_t tx_queued() const { return tx_ring_.size(); }
+  size_t tx_free() const { return params_.tx_ring_slots - tx_ring_.size(); }
+
+  // --- Host RX side (called by the driver) ---
+
+  // `fn` fires when the RX ring transitions empty -> non-empty (the model's
+  // stand-in for a wired interrupt / the poll loop noticing new descriptors).
+  void SetRxNotify(std::function<void()> fn) { rx_notify_ = std::move(fn); }
+
+  // Takes one frame off the RX ring; nullptr if empty.
+  PacketPtr PollRx();
+
+  size_t rx_pending() const { return rx_ring_.size(); }
+
+  // Time to serialize one frame of `bytes` payload at line rate.
+  SimTime SerializationTime(uint32_t frame_bytes) const;
+
+  // --- Capture tap ---
+  enum class TapDirection { kTx, kRx };
+  // Observes every frame leaving (kTx, at transmit start) and arriving
+  // (kRx, when host-visible). Feed a PcapWriter for Wireshark-readable
+  // captures of simulated traffic.
+  void SetTap(std::function<void(TapDirection, const PacketPtr&)> tap) { tap_ = std::move(tap); }
+
+ private:
+  void StartNextTx();
+  void DeliverFromWire(PacketPtr p);
+
+  Simulation* sim_;
+  std::string name_;
+  Params params_;
+
+  Nic* peer_ = nullptr;
+  SimTime propagation_ = 0;
+  double loss_prob_ = 0.0;
+  Rng loss_rng_;
+
+  std::deque<PacketPtr> tx_ring_;
+  std::deque<PacketPtr> rx_ring_;
+  bool tx_in_progress_ = false;
+  std::function<void()> rx_notify_;
+  std::function<void(TapDirection, const PacketPtr&)> tap_;
+
+  Stats stats_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_HW_NIC_H_

@@ -1,0 +1,38 @@
+#include "src/hw/operating_point.h"
+
+#include <cassert>
+
+namespace newtos {
+
+std::vector<OperatingPoint> BigCoreOperatingPoints() {
+  return {
+      // Entries above 3.6 GHz are turbo points: only a power-budget governor
+      // hands them out (base clock is 3.6 GHz).
+      {4'400'000 * kKhz, 1.45}, {4'200'000 * kKhz, 1.40}, {4'000'000 * kKhz, 1.35},
+      {3'800'000 * kKhz, 1.30},
+      {3'600'000 * kKhz, 1.25}, {3'200'000 * kKhz, 1.15}, {2'800'000 * kKhz, 1.05},
+      {2'400'000 * kKhz, 0.98}, {2'000'000 * kKhz, 0.92}, {1'600'000 * kKhz, 0.86},
+      {1'200'000 * kKhz, 0.80}, {800'000 * kKhz, 0.75},   {600'000 * kKhz, 0.70},
+  };
+}
+
+std::vector<OperatingPoint> WimpyCoreOperatingPoints() {
+  // In-order cores run the same frequency at lower voltage than the big
+  // table (simpler pipelines, shorter critical paths).
+  return {
+      {1'600'000 * kKhz, 0.85}, {1'200'000 * kKhz, 0.76}, {800'000 * kKhz, 0.70},
+      {600'000 * kKhz, 0.66},   {300'000 * kKhz, 0.60},
+  };
+}
+
+const OperatingPoint& PickOperatingPoint(const std::vector<OperatingPoint>& table, FreqKhz want) {
+  assert(!table.empty());
+  for (const auto& op : table) {
+    if (op.freq <= want) {
+      return op;
+    }
+  }
+  return table.back();
+}
+
+}  // namespace newtos

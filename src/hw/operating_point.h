@@ -1,0 +1,38 @@
+// DVFS operating points (frequency/voltage pairs) for simulated cores.
+//
+// The default table approximates a big out-of-order x86 core of the ATC'13
+// era (Sandy-Bridge-class): ~3.6 GHz at 1.25 V down to 600 MHz at 0.70 V. A
+// second table models a "wimpy" in-order core (Atom/ARM-class). Absolute
+// values matter less than the shape: dynamic power scales with V²·f, so
+// halving frequency cuts dynamic power well below half.
+
+#ifndef SRC_HW_OPERATING_POINT_H_
+#define SRC_HW_OPERATING_POINT_H_
+
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace newtos {
+
+struct OperatingPoint {
+  FreqKhz freq = 0;
+  double voltage = 0.0;  // volts
+
+  friend bool operator==(const OperatingPoint&, const OperatingPoint&) = default;
+};
+
+// Descending-frequency table for a big core: 3.6 GHz .. 0.6 GHz.
+std::vector<OperatingPoint> BigCoreOperatingPoints();
+
+// Descending-frequency table for a wimpy core: 1.6 GHz .. 0.3 GHz.
+std::vector<OperatingPoint> WimpyCoreOperatingPoints();
+
+// Returns the table entry with the highest frequency <= `want`; if `want` is
+// below the lowest entry, returns the lowest. Precondition: table non-empty,
+// sorted by descending frequency.
+const OperatingPoint& PickOperatingPoint(const std::vector<OperatingPoint>& table, FreqKhz want);
+
+}  // namespace newtos
+
+#endif  // SRC_HW_OPERATING_POINT_H_

@@ -1,0 +1,38 @@
+#include "src/hw/power.h"
+
+#include <cassert>
+
+namespace newtos {
+
+double PowerModel::CoreWatts(const OperatingPoint& op, CoreActivity activity) const {
+  switch (activity) {
+    case CoreActivity::kBusy:
+    case CoreActivity::kPolling: {
+      const double ghz = ToGhz(op.freq);
+      return params_.static_watts + params_.ceff * op.voltage * op.voltage * ghz;
+    }
+    case CoreActivity::kHalted:
+      return params_.halted_watts;
+  }
+  return 0.0;
+}
+
+void EnergyMeter::SetPower(double watts, SimTime now) {
+  assert(now >= last_change_);
+  joules_ += watts_ * ToSeconds(now - last_change_);
+  watts_ = watts;
+  last_change_ = now;
+}
+
+double EnergyMeter::JoulesAt(SimTime now) const {
+  assert(now >= last_change_);
+  return joules_ + watts_ * ToSeconds(now - last_change_);
+}
+
+void EnergyMeter::ResetAt(SimTime now) {
+  assert(now >= last_change_);
+  joules_ = 0.0;
+  last_change_ = now;
+}
+
+}  // namespace newtos

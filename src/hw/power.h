@@ -1,0 +1,77 @@
+// First-order CMOS power model and a piecewise-constant energy integrator.
+//
+//   P_active(op) = P_static + C_eff · V² · f
+//
+// Polling spins the core flat out, so "polling but no useful work" draws the
+// same dynamic power as useful work — that observation is the energy half of
+// the paper. A halted core (MWAIT/C-state) draws only (reduced) static power.
+
+#ifndef SRC_HW_POWER_H_
+#define SRC_HW_POWER_H_
+
+#include "src/hw/operating_point.h"
+#include "src/sim/time.h"
+
+namespace newtos {
+
+// Coarse activity states a core can be in, for power purposes.
+enum class CoreActivity {
+  kBusy,     // executing useful work
+  kPolling,  // spinning on empty channels: full dynamic power, zero useful work
+  kHalted,   // in a sleep state: static power only, wake latency applies
+};
+
+struct PowerModelParams {
+  double static_watts = 2.0;        // leakage etc., always drawn while not halted
+  double halted_watts = 0.6;        // residual draw in the sleep state
+  double ceff = 0.85;               // effective capacitance scale, W / (V²·GHz)
+  double uncore_watts = 8.0;        // chip-wide constant (memory ctrl, caches, NIC glue)
+};
+
+class PowerModel {
+ public:
+  PowerModel() : PowerModel(PowerModelParams{}) {}
+  explicit PowerModel(const PowerModelParams& params) : params_(params) {}
+
+  // Instantaneous per-core draw in the given activity at the given OP.
+  double CoreWatts(const OperatingPoint& op, CoreActivity activity) const;
+
+  // Peak (busy) draw at an OP; what a power-budget governor must provision.
+  double PeakWatts(const OperatingPoint& op) const { return CoreWatts(op, CoreActivity::kBusy); }
+
+  double uncore_watts() const { return params_.uncore_watts; }
+  const PowerModelParams& params() const { return params_; }
+
+ private:
+  PowerModelParams params_;
+};
+
+// Integrates a piecewise-constant power signal into joules. Components call
+// SetPower whenever their draw changes; the meter accumulates the previous
+// level over the elapsed interval.
+class EnergyMeter {
+ public:
+  // `now` is the time accounting starts.
+  explicit EnergyMeter(SimTime now = 0) : last_change_(now) {}
+
+  // Records that the power level changed to `watts` at time `now`.
+  // `now` must be >= the previous change time.
+  void SetPower(double watts, SimTime now);
+
+  // Total energy consumed up to `now` (flushes the current segment).
+  double JoulesAt(SimTime now) const;
+
+  double current_watts() const { return watts_; }
+
+  // Resets the accumulator (e.g. after a warm-up phase), keeping the level.
+  void ResetAt(SimTime now);
+
+ private:
+  double watts_ = 0.0;
+  double joules_ = 0.0;
+  SimTime last_change_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_HW_POWER_H_

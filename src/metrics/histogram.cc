@@ -1,0 +1,86 @@
+#include "src/metrics/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace newtos {
+
+int LatencyHistogram::BucketFor(int64_t ns) {
+  if (ns < 0) {
+    ns = 0;
+  }
+  const uint64_t v = static_cast<uint64_t>(ns) + 1;  // avoid log of 0
+  const int octave = 63 - std::countl_zero(v);
+  if (octave < kSubBucketBits) {
+    // Small values: direct linear indexing in the first octaves.
+    return static_cast<int>(v - 1) < kBuckets ? static_cast<int>(v - 1) : kBuckets - 1;
+  }
+  const int shift = octave - kSubBucketBits;
+  const int sub = static_cast<int>((v >> shift) & ((1 << kSubBucketBits) - 1));
+  const int idx = ((octave - kSubBucketBits + 1) << kSubBucketBits) + sub;
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+int64_t LatencyHistogram::BucketUpperNs(int bucket) {
+  // Buckets below 2^kSubBucketBits hold exactly one ns value (v = ns + 1
+  // maps 1:1), so the representative is exact.
+  if (bucket < (1 << kSubBucketBits)) {
+    return bucket;
+  }
+  const int octave = (bucket >> kSubBucketBits) + kSubBucketBits - 1;
+  const int sub = bucket & ((1 << kSubBucketBits) - 1);
+  const int shift = octave - kSubBucketBits;
+  // Upper edge of the bucket's v-range, converted back to ns (v = ns + 1).
+  return ((static_cast<int64_t>((1 << kSubBucketBits) + sub + 1)) << shift) - 2;
+}
+
+void LatencyHistogram::Record(SimTime latency) {
+  const int64_t ns = latency / kNanosecond;
+  bins_[static_cast<size_t>(BucketFor(ns))]++;
+  if (count_ == 0) {
+    min_ = max_ = latency;
+  } else {
+    min_ = std::min(min_, latency);
+    max_ = std::max(max_, latency);
+  }
+  ++count_;
+  sum_ns_ += static_cast<double>(ns);
+}
+
+SimTime LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bins_[static_cast<size_t>(i)];
+    if (seen >= target) {
+      return BucketUpperNs(i) * kNanosecond;
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Reset() { *this = LatencyHistogram(); }
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (int i = 0; i < kBuckets; ++i) {
+    bins_[static_cast<size_t>(i)] += other.bins_[static_cast<size_t>(i)];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+}
+
+}  // namespace newtos

@@ -1,0 +1,56 @@
+#include "src/metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace newtos {
+
+void StreamingStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingStats::variance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+void StreamingStats::Reset() { *this = StreamingStats(); }
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RateMeter::EventsPerSec(SimTime now) const {
+  const double secs = ToSeconds(now - window_start_);
+  return secs > 0.0 ? static_cast<double>(events_) / secs : 0.0;
+}
+
+double RateMeter::BitsPerSec(SimTime now) const {
+  const double secs = ToSeconds(now - window_start_);
+  return secs > 0.0 ? static_cast<double>(bytes_) * 8.0 / secs : 0.0;
+}
+
+}  // namespace newtos

@@ -1,0 +1,73 @@
+// Streaming scalar statistics (Welford) and windowed rate meters.
+
+#ifndef SRC_METRICS_STATS_H_
+#define SRC_METRICS_STATS_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "src/sim/time.h"
+
+namespace newtos {
+
+// Count / mean / variance / min / max without storing samples.
+class StreamingStats {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void Reset();
+
+  // Pools another accumulator into this one.
+  void Merge(const StreamingStats& other);
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Counts events/bytes against simulated time; reports rates over the window
+// since the last Reset.
+class RateMeter {
+ public:
+  explicit RateMeter(SimTime start = 0) : window_start_(start) {}
+
+  void Add(uint64_t events, uint64_t bytes = 0) {
+    events_ += events;
+    bytes_ += bytes;
+  }
+
+  void Reset(SimTime now) {
+    events_ = 0;
+    bytes_ = 0;
+    window_start_ = now;
+  }
+
+  uint64_t events() const { return events_; }
+  uint64_t bytes() const { return bytes_; }
+  SimTime window_start() const { return window_start_; }
+
+  double EventsPerSec(SimTime now) const;
+  double BitsPerSec(SimTime now) const;
+  double GbitsPerSec(SimTime now) const { return BitsPerSec(now) / 1e9; }
+
+ private:
+  uint64_t events_ = 0;
+  uint64_t bytes_ = 0;
+  SimTime window_start_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_METRICS_STATS_H_

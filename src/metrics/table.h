@@ -1,0 +1,47 @@
+// Console table and CSV writers used by every bench binary.
+//
+// Benches print the same rows the paper's tables/figures report; the table
+// writer aligns columns for the console and the same rows can be dumped as
+// CSV for plotting.
+
+#ifndef SRC_METRICS_TABLE_H_
+#define SRC_METRICS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace newtos {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  // Adds a row; cells are pre-formatted strings. Row length may be shorter
+  // than the header (remaining cells render empty).
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(int64_t v);
+  static std::string Pct(double fraction, int precision = 1);  // 0.123 -> "12.3%"
+
+  // Renders with aligned columns, a header rule, and an optional title.
+  void Print(std::ostream& out, const std::string& title = "") const;
+
+  // Writes RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void WriteCsv(std::ostream& out) const;
+
+  // Writes CSV to a file path; returns false on I/O failure.
+  bool WriteCsvFile(const std::string& path) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_METRICS_TABLE_H_

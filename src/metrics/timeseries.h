@@ -1,0 +1,80 @@
+// Periodic time-series sampler for simulations.
+//
+// Samples a user function at a fixed simulated interval and stores (t, value)
+// pairs — the plumbing behind time-resolved figures like the recovery
+// timeline (goodput per 10 ms bucket around a crash).
+
+#ifndef SRC_METRICS_TIMESERIES_H_
+#define SRC_METRICS_TIMESERIES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace newtos {
+
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime at = 0;
+    double value = 0.0;
+  };
+
+  // `sample` is called every `interval` once Start()ed; its return value is
+  // recorded against the sampling time.
+  TimeSeries(Simulation* sim, SimTime interval, std::function<double()> sample)
+      : sim_(sim), interval_(interval), sample_(std::move(sample)) {}
+
+  ~TimeSeries() { Stop(); }
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  void Start() {
+    if (!running_) {
+      running_ = true;
+      tick_ = sim_->Schedule(interval_, [this] { Tick(); });
+    }
+  }
+
+  void Stop() {
+    running_ = false;
+    tick_.Cancel();
+  }
+
+  const std::vector<Point>& points() const { return points_; }
+  SimTime interval() const { return interval_; }
+
+  // Max value over all points (0 when empty) — handy for report scaling.
+  double Max() const {
+    double m = 0.0;
+    for (const Point& p : points_) {
+      m = p.value > m ? p.value : m;
+    }
+    return m;
+  }
+
+ private:
+  void Tick() {
+    if (!running_) {
+      return;
+    }
+    points_.push_back(Point{sim_->Now(), sample_()});
+    tick_ = sim_->Schedule(interval_, [this] { Tick(); });
+  }
+
+  Simulation* sim_;
+  SimTime interval_;
+  std::function<double()> sample_;
+  std::vector<Point> points_;
+  EventHandle tick_;
+  bool running_ = false;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_METRICS_TIMESERIES_H_

@@ -1,0 +1,35 @@
+#include "src/net/checksum.h"
+
+namespace newtos {
+
+uint32_t ChecksumPartial(const uint8_t* data, size_t len, uint32_t sum) {
+  size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < len) {  // odd trailing byte, padded with zero
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  return sum;
+}
+
+uint16_t ChecksumFinish(uint32_t sum) {
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum & 0xffff);
+}
+
+uint16_t Checksum(const uint8_t* data, size_t len) {
+  return ChecksumFinish(ChecksumPartial(data, len));
+}
+
+bool ChecksumValid(const uint8_t* data, size_t len) {
+  uint32_t sum = ChecksumPartial(data, len);
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return sum == 0xffff;
+}
+
+}  // namespace newtos

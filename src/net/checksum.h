@@ -1,0 +1,27 @@
+// RFC 1071 Internet checksum.
+
+#ifndef SRC_NET_CHECKSUM_H_
+#define SRC_NET_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace newtos {
+
+// Returns the 16-bit one's-complement sum of `len` bytes (the running sum,
+// NOT inverted). Use Finish() to produce the field value.
+uint32_t ChecksumPartial(const uint8_t* data, size_t len, uint32_t sum = 0);
+
+// Folds carries and inverts: the value to place in a checksum field.
+uint16_t ChecksumFinish(uint32_t sum);
+
+// One-shot: checksum of a buffer.
+uint16_t Checksum(const uint8_t* data, size_t len);
+
+// True if a buffer that *contains* its checksum field verifies (sums to
+// 0xffff before inversion).
+bool ChecksumValid(const uint8_t* data, size_t len);
+
+}  // namespace newtos
+
+#endif  // SRC_NET_CHECKSUM_H_

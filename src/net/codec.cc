@@ -1,0 +1,255 @@
+#include "src/net/codec.h"
+
+#include <cstring>
+
+#include "src/net/checksum.h"
+
+namespace newtos {
+namespace {
+
+void Put16(std::vector<uint8_t>& out, size_t at, uint16_t v) {
+  out[at] = static_cast<uint8_t>(v >> 8);
+  out[at + 1] = static_cast<uint8_t>(v & 0xff);
+}
+
+void Put32(std::vector<uint8_t>& out, size_t at, uint32_t v) {
+  out[at] = static_cast<uint8_t>(v >> 24);
+  out[at + 1] = static_cast<uint8_t>((v >> 16) & 0xff);
+  out[at + 2] = static_cast<uint8_t>((v >> 8) & 0xff);
+  out[at + 3] = static_cast<uint8_t>(v & 0xff);
+}
+
+uint16_t Get16(const std::vector<uint8_t>& in, size_t at) {
+  return static_cast<uint16_t>((in[at] << 8) | in[at + 1]);
+}
+
+uint32_t Get32(const std::vector<uint8_t>& in, size_t at) {
+  return (static_cast<uint32_t>(in[at]) << 24) | (static_cast<uint32_t>(in[at + 1]) << 16) |
+         (static_cast<uint32_t>(in[at + 2]) << 8) | in[at + 3];
+}
+
+// The 16-bit window field carries window/256 (a fixed window-scale of 8,
+// as a real stack would negotiate for multi-hundred-KiB windows).
+constexpr uint32_t kWindowScale = 256;
+
+// Pseudo-header sum for TCP/UDP checksums.
+uint32_t PseudoHeaderSum(Ipv4Addr src, Ipv4Addr dst, IpProto proto, uint16_t l4_len) {
+  uint32_t sum = 0;
+  sum += src >> 16;
+  sum += src & 0xffff;
+  sum += dst >> 16;
+  sum += dst & 0xffff;
+  sum += static_cast<uint32_t>(proto);
+  sum += l4_len;
+  return sum;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializePacket(const Packet& p, bool fill_payload) {
+  const bool is_tcp = p.ip.proto == IpProto::kTcp;
+  const bool is_icmp = p.ip.proto == IpProto::kIcmp;
+  const size_t l4_hdr = is_tcp ? p.tcp.HeaderBytes() : (is_icmp ? kIcmpHeaderBytes : kUdpHeaderBytes);
+  const size_t total = kEthHeaderBytes + kIpv4HeaderBytes + l4_hdr + p.payload_bytes;
+  std::vector<uint8_t> out(total, 0);
+
+  // Ethernet.
+  std::memcpy(out.data(), p.eth.dst.data(), 6);
+  std::memcpy(out.data() + 6, p.eth.src.data(), 6);
+  Put16(out, 12, p.eth.ether_type);
+
+  // IPv4.
+  const size_t ip0 = kEthHeaderBytes;
+  const uint16_t ip_total = static_cast<uint16_t>(kIpv4HeaderBytes + l4_hdr + p.payload_bytes);
+  out[ip0 + 0] = 0x45;  // version 4, IHL 5
+  out[ip0 + 1] = 0;     // DSCP
+  Put16(out, ip0 + 2, ip_total);
+  Put16(out, ip0 + 4, static_cast<uint16_t>(p.id & 0xffff));  // identification
+  Put16(out, ip0 + 6, 0x4000);                                // DF, no fragments
+  out[ip0 + 8] = p.ip.ttl;
+  out[ip0 + 9] = static_cast<uint8_t>(p.ip.proto);
+  Put16(out, ip0 + 10, 0);  // checksum placeholder
+  Put32(out, ip0 + 12, p.ip.src);
+  Put32(out, ip0 + 16, p.ip.dst);
+  Put16(out, ip0 + 10, Checksum(out.data() + ip0, kIpv4HeaderBytes));
+
+  // L4 header.
+  const size_t l40 = ip0 + kIpv4HeaderBytes;
+  const uint16_t l4_len = static_cast<uint16_t>(l4_hdr + p.payload_bytes);
+  if (is_tcp) {
+    Put16(out, l40 + 0, p.tcp.src_port);
+    Put16(out, l40 + 2, p.tcp.dst_port);
+    Put32(out, l40 + 4, p.tcp.seq);
+    Put32(out, l40 + 8, p.tcp.ack);
+    out[l40 + 12] = static_cast<uint8_t>((l4_hdr / 4) << 4);  // data offset in words
+    out[l40 + 13] = p.tcp.flags;
+    const uint32_t scaled = p.tcp.window / kWindowScale;
+    Put16(out, l40 + 14, static_cast<uint16_t>(scaled > 0xffff ? 0xffff : scaled));
+    Put16(out, l40 + 16, 0);  // checksum placeholder
+    Put16(out, l40 + 18, 0);  // urgent pointer
+    if (p.tcp.n_sack > 0) {
+      // RFC 2018 SACK option: kind 5, length 2 + 8n, NOP-padded to a word.
+      size_t at = l40 + 20;
+      const size_t opt_end = l40 + l4_hdr;
+      out[at++] = 5;
+      out[at++] = static_cast<uint8_t>(2 + p.tcp.n_sack * 8);
+      for (int i = 0; i < p.tcp.n_sack; ++i) {
+        Put32(out, at, p.tcp.sack[static_cast<size_t>(i)].start);
+        Put32(out, at + 4, p.tcp.sack[static_cast<size_t>(i)].end);
+        at += 8;
+      }
+      while (at < opt_end) {
+        out[at++] = 1;  // NOP padding
+      }
+    }
+  } else if (is_icmp) {
+    out[l40 + 0] = p.icmp.type;
+    out[l40 + 1] = p.icmp.code;
+    Put16(out, l40 + 2, 0);  // checksum placeholder
+    Put16(out, l40 + 4, p.icmp.id);
+    Put16(out, l40 + 6, p.icmp.seq);
+  } else {
+    Put16(out, l40 + 0, p.udp.src_port);
+    Put16(out, l40 + 2, p.udp.dst_port);
+    Put16(out, l40 + 4, l4_len);
+    Put16(out, l40 + 6, 0);  // checksum placeholder
+  }
+
+  // Payload pattern (deterministic, id-keyed) so L4 checksums cover data.
+  const size_t pay0 = l40 + l4_hdr;
+  if (fill_payload) {
+    uint64_t x = p.id * 0x9e3779b97f4a7c15ULL + 1;
+    for (size_t i = 0; i < p.payload_bytes; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      out[pay0 + i] = static_cast<uint8_t>(x & 0xff);
+    }
+  }
+
+  // L4 checksum; ICMP checksums have no pseudo-header (RFC 792).
+  uint32_t sum = is_icmp ? 0 : PseudoHeaderSum(p.ip.src, p.ip.dst, p.ip.proto, l4_len);
+  sum = ChecksumPartial(out.data() + l40, l4_len, sum);
+  uint16_t csum = ChecksumFinish(sum);
+  if (is_tcp) {
+    Put16(out, l40 + 16, csum);
+  } else if (is_icmp) {
+    Put16(out, l40 + 2, csum);
+  } else {
+    if (csum == 0) {
+      csum = 0xffff;  // UDP: transmitted zero means "no checksum"
+    }
+    Put16(out, l40 + 6, csum);
+  }
+  return out;
+}
+
+std::optional<ParseResult> ParsePacket(const std::vector<uint8_t>& frame) {
+  if (frame.size() < kEthHeaderBytes + kIpv4HeaderBytes) {
+    return std::nullopt;
+  }
+  ParseResult r;
+  Packet& p = r.packet;
+  std::memcpy(p.eth.dst.data(), frame.data(), 6);
+  std::memcpy(p.eth.src.data(), frame.data() + 6, 6);
+  p.eth.ether_type = Get16(frame, 12);
+  if (p.eth.ether_type != kEtherTypeIpv4) {
+    return std::nullopt;
+  }
+
+  const size_t ip0 = kEthHeaderBytes;
+  if ((frame[ip0] >> 4) != 4 || (frame[ip0] & 0x0f) != 5) {
+    return std::nullopt;  // only IHL=5 supported
+  }
+  const uint16_t ip_total = Get16(frame, ip0 + 2);
+  if (ip_total < kIpv4HeaderBytes || ip0 + ip_total > frame.size()) {
+    return std::nullopt;
+  }
+  p.ip.ttl = frame[ip0 + 8];
+  const uint8_t proto = frame[ip0 + 9];
+  if (proto != static_cast<uint8_t>(IpProto::kTcp) &&
+      proto != static_cast<uint8_t>(IpProto::kUdp) &&
+      proto != static_cast<uint8_t>(IpProto::kIcmp)) {
+    return std::nullopt;
+  }
+  p.ip.proto = static_cast<IpProto>(proto);
+  p.ip.src = Get32(frame, ip0 + 12);
+  p.ip.dst = Get32(frame, ip0 + 16);
+  r.ip_checksum_ok = ChecksumValid(frame.data() + ip0, kIpv4HeaderBytes);
+
+  const size_t l40 = ip0 + kIpv4HeaderBytes;
+  const uint16_t l4_len = static_cast<uint16_t>(ip_total - kIpv4HeaderBytes);
+  if (p.ip.proto == IpProto::kTcp) {
+    if (l4_len < kTcpHeaderBytes) {
+      return std::nullopt;
+    }
+    const size_t data_offset = static_cast<size_t>(frame[l40 + 12] >> 4) * 4;
+    if (data_offset < kTcpHeaderBytes || data_offset > l4_len) {
+      return std::nullopt;
+    }
+    p.tcp.src_port = Get16(frame, l40 + 0);
+    p.tcp.dst_port = Get16(frame, l40 + 2);
+    p.tcp.seq = Get32(frame, l40 + 4);
+    p.tcp.ack = Get32(frame, l40 + 8);
+    p.tcp.flags = frame[l40 + 13];
+    p.tcp.window = static_cast<uint32_t>(Get16(frame, l40 + 14)) * 256;
+    // Options: only SACK (kind 5) and NOP/END are understood.
+    size_t at = l40 + 20;
+    const size_t opt_end = l40 + data_offset;
+    while (at < opt_end) {
+      const uint8_t kind = frame[at];
+      if (kind == 0) {  // end of options
+        break;
+      }
+      if (kind == 1) {  // NOP
+        ++at;
+        continue;
+      }
+      if (at + 1 >= opt_end) {
+        return std::nullopt;  // truncated option
+      }
+      const uint8_t len = frame[at + 1];
+      if (len < 2 || at + len > opt_end) {
+        return std::nullopt;
+      }
+      if (kind == 5 && (len - 2) % 8 == 0) {
+        const int blocks = (len - 2) / 8;
+        for (int i = 0; i < blocks && i < kMaxSackBlocks; ++i) {
+          p.tcp.sack[static_cast<size_t>(i)].start = Get32(frame, at + 2 + 8 * i);
+          p.tcp.sack[static_cast<size_t>(i)].end = Get32(frame, at + 6 + 8 * i);
+          p.tcp.n_sack = static_cast<uint8_t>(i + 1);
+        }
+      }
+      at += len;
+    }
+    p.payload_bytes = static_cast<uint32_t>(l4_len - data_offset);
+  } else if (p.ip.proto == IpProto::kIcmp) {
+    if (l4_len < kIcmpHeaderBytes) {
+      return std::nullopt;
+    }
+    p.icmp.type = frame[l40 + 0];
+    p.icmp.code = frame[l40 + 1];
+    p.icmp.id = Get16(frame, l40 + 4);
+    p.icmp.seq = Get16(frame, l40 + 6);
+    p.payload_bytes = static_cast<uint32_t>(l4_len - kIcmpHeaderBytes);
+  } else {
+    if (l4_len < kUdpHeaderBytes) {
+      return std::nullopt;
+    }
+    p.udp.src_port = Get16(frame, l40 + 0);
+    p.udp.dst_port = Get16(frame, l40 + 2);
+    p.payload_bytes = static_cast<uint32_t>(l4_len - kUdpHeaderBytes);
+  }
+
+  uint32_t sum = p.ip.proto == IpProto::kIcmp
+                     ? 0
+                     : PseudoHeaderSum(p.ip.src, p.ip.dst, p.ip.proto, l4_len);
+  sum = ChecksumPartial(frame.data() + l40, l4_len, sum);
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  r.l4_checksum_ok = (sum == 0xffff);
+  return r;
+}
+
+}  // namespace newtos

@@ -1,0 +1,39 @@
+// Wire codec: serializes the structured Packet model to real network-order
+// bytes (with real IPv4/TCP/UDP checksums) and parses bytes back.
+//
+// The simulator's fast path does not serialize — it moves structs — but the
+// codec keeps the header layouts honest: round-trip and checksum properties
+// are enforced by tests, and the packet filter's byte-matching mode parses
+// real buffers. Payload bytes are rendered as a deterministic pattern keyed
+// on the packet id so checksums cover "real" data.
+
+#ifndef SRC_NET_CODEC_H_
+#define SRC_NET_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/net/packet.h"
+
+namespace newtos {
+
+// Serializes `p` to a full Ethernet frame. If `fill_payload` is true the
+// payload area is filled with a deterministic pattern (id-keyed); otherwise
+// it is zeroed. IPv4 header checksum and TCP/UDP pseudo-header checksums are
+// computed for real.
+std::vector<uint8_t> SerializePacket(const Packet& p, bool fill_payload = true);
+
+struct ParseResult {
+  Packet packet;
+  bool ip_checksum_ok = false;
+  bool l4_checksum_ok = false;
+};
+
+// Parses a frame produced by SerializePacket (or hand-built in tests).
+// Returns nullopt for truncated/malformed frames or non-IPv4 ether types.
+std::optional<ParseResult> ParsePacket(const std::vector<uint8_t>& frame);
+
+}  // namespace newtos
+
+#endif  // SRC_NET_CODEC_H_

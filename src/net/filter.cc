@@ -1,0 +1,69 @@
+#include "src/net/filter.h"
+
+namespace newtos {
+
+bool FilterRule::Matches(const Packet& p) const {
+  if (proto.has_value() && p.ip.proto != *proto) {
+    return false;
+  }
+  if (src_mask != 0 && (p.ip.src & src_mask) != (src_addr & src_mask)) {
+    return false;
+  }
+  if (dst_mask != 0 && (p.ip.dst & dst_mask) != (dst_addr & dst_mask)) {
+    return false;
+  }
+  uint16_t psrc = 0;
+  uint16_t pdst = 0;
+  if (p.ip.proto == IpProto::kTcp) {
+    psrc = p.tcp.src_port;
+    pdst = p.tcp.dst_port;
+  } else if (p.ip.proto == IpProto::kUdp) {
+    psrc = p.udp.src_port;
+    pdst = p.udp.dst_port;
+  }  // ICMP carries no ports: port-specific rules never match it
+  if (src_port != 0 && psrc != src_port) {
+    return false;
+  }
+  if (dst_port != 0 && pdst != dst_port) {
+    return false;
+  }
+  return true;
+}
+
+FilterVerdict PacketFilter::Evaluate(const Packet& p) const {
+  FilterVerdict v;
+  for (const FilterRule& rule : rules_) {
+    ++v.rules_evaluated;
+    if (rule.Matches(p)) {
+      v.action = rule.action;
+      v.rule = &rule;
+      (v.action == FilterAction::kAccept ? accepted_ : dropped_) += 1;
+      return v;
+    }
+  }
+  v.action = default_action_;
+  (v.action == FilterAction::kAccept ? accepted_ : dropped_) += 1;
+  return v;
+}
+
+PacketFilter MakeSyntheticFilter(size_t n_rules) {
+  PacketFilter pf(FilterAction::kAccept);
+  for (size_t i = 0; i + 1 < n_rules; ++i) {
+    // Rules that never match the test traffic: a bogus /32 source.
+    FilterRule r;
+    r.src_addr = Ipv4(192, 0, 2, static_cast<uint8_t>(i & 0xff));
+    r.src_mask = 0xffffffff;
+    r.src_port = 1;  // and an unlikely source port
+    r.action = FilterAction::kDrop;
+    r.label = "synthetic-" + std::to_string(i);
+    pf.Append(std::move(r));
+  }
+  if (n_rules > 0) {
+    FilterRule accept_all;
+    accept_all.label = "accept-all";
+    pf.Append(std::move(accept_all));
+  }
+  return pf;
+}
+
+}  // namespace newtos

@@ -1,0 +1,74 @@
+// Stateless packet-filter rule engine (the stack's PF server evaluates this).
+//
+// First-match semantics over an ordered rule list, like a simple pf/iptables
+// chain: each rule matches on protocol and masked 5-tuple fields, with a
+// default policy when nothing matches. The multiserver PF server charges a
+// per-rule evaluation cost, so the rule count is a performance parameter in
+// the stack experiments.
+
+#ifndef SRC_NET_FILTER_H_
+#define SRC_NET_FILTER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+
+namespace newtos {
+
+enum class FilterAction { kAccept, kDrop };
+
+struct FilterRule {
+  // Wildcards: proto nullopt = any; masks select the compared prefix bits;
+  // port 0 = any.
+  std::optional<IpProto> proto;
+  Ipv4Addr src_addr = 0;
+  Ipv4Addr src_mask = 0;  // 0 = any
+  Ipv4Addr dst_addr = 0;
+  Ipv4Addr dst_mask = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  FilterAction action = FilterAction::kAccept;
+  std::string label;
+
+  bool Matches(const Packet& p) const;
+};
+
+struct FilterVerdict {
+  FilterAction action = FilterAction::kAccept;
+  int rules_evaluated = 0;       // cost driver for the PF server
+  const FilterRule* rule = nullptr;  // nullptr if the default policy applied
+};
+
+class PacketFilter {
+ public:
+  explicit PacketFilter(FilterAction default_action = FilterAction::kAccept)
+      : default_action_(default_action) {}
+
+  void Append(FilterRule rule) { rules_.push_back(std::move(rule)); }
+  void Clear() { rules_.clear(); }
+  size_t size() const { return rules_.size(); }
+  FilterAction default_action() const { return default_action_; }
+
+  // Evaluates rules in order; first match wins.
+  FilterVerdict Evaluate(const Packet& p) const;
+
+  uint64_t accepted() const { return accepted_; }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  FilterAction default_action_;
+  std::vector<FilterRule> rules_;
+  mutable uint64_t accepted_ = 0;
+  mutable uint64_t dropped_ = 0;
+};
+
+// Builds a synthetic chain of `n` non-matching rules ending in accept-all —
+// the knob benches use to make the PF stage arbitrarily expensive.
+PacketFilter MakeSyntheticFilter(size_t n_rules);
+
+}  // namespace newtos
+
+#endif  // SRC_NET_FILTER_H_

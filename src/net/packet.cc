@@ -1,0 +1,68 @@
+#include "src/net/packet.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace newtos {
+namespace {
+
+std::atomic<uint64_t> g_next_packet_id{1};
+
+}  // namespace
+
+std::string Ipv4ToString(Ipv4Addr addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff, (addr >> 16) & 0xff,
+                (addr >> 8) & 0xff, addr & 0xff);
+  return buf;
+}
+
+PacketPtr MakePacket() {
+  auto p = std::make_shared<Packet>();
+  p->id = g_next_packet_id.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+std::string Packet::ToString() const {
+  char buf[160];
+  if (ip.proto == IpProto::kTcp) {
+    char flagstr[8];
+    int n = 0;
+    if (tcp.syn()) flagstr[n++] = 'S';
+    if (tcp.ack_flag()) flagstr[n++] = 'A';
+    if (tcp.fin()) flagstr[n++] = 'F';
+    if (tcp.rst()) flagstr[n++] = 'R';
+    flagstr[n] = '\0';
+    std::snprintf(buf, sizeof(buf), "TCP %s:%u > %s:%u [%s] seq=%u ack=%u len=%u win=%u",
+                  Ipv4ToString(ip.src).c_str(), tcp.src_port, Ipv4ToString(ip.dst).c_str(),
+                  tcp.dst_port, flagstr, tcp.seq, tcp.ack, payload_bytes, tcp.window);
+  } else if (ip.proto == IpProto::kUdp) {
+    std::snprintf(buf, sizeof(buf), "UDP %s:%u > %s:%u len=%u", Ipv4ToString(ip.src).c_str(),
+                  udp.src_port, Ipv4ToString(ip.dst).c_str(), udp.dst_port, payload_bytes);
+  } else {
+    std::snprintf(buf, sizeof(buf), "ICMP %s > %s type=%u id=%u seq=%u len=%u",
+                  Ipv4ToString(ip.src).c_str(), Ipv4ToString(ip.dst).c_str(), icmp.type, icmp.id,
+                  icmp.seq, payload_bytes);
+  }
+  return buf;
+}
+
+size_t SymmetricFlowHash(const FlowKey& k) {
+  // Normalize so that (src, dst) and (dst, src) hash identically.
+  const uint64_t a = (static_cast<uint64_t>(k.src_ip) << 16) | k.src_port;
+  const uint64_t b = (static_cast<uint64_t>(k.dst_ip) << 16) | k.dst_port;
+  uint64_t h = (a < b ? (a << 1) ^ b : (b << 1) ^ a) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<size_t>(h ^ (h >> 32));
+}
+
+FlowKey PacketFlowKey(const Packet& p) {
+  if (p.ip.proto == IpProto::kTcp) {
+    return {p.ip.src, p.ip.dst, p.tcp.src_port, p.tcp.dst_port};
+  }
+  if (p.ip.proto == IpProto::kUdp) {
+    return {p.ip.src, p.ip.dst, p.udp.src_port, p.udp.dst_port};
+  }
+  return {p.ip.src, p.ip.dst, p.icmp.id, p.icmp.seq};  // ICMP: id/seq stand in
+}
+
+}  // namespace newtos

@@ -1,0 +1,182 @@
+// Structured packet model.
+//
+// Packets carry *parsed* headers plus a payload byte count. The simulator's
+// fast path moves these structs (wrapped in shared_ptr) between stages; the
+// wire codec in src/net/codec.h can serialize them to real bytes — with real
+// Internet checksums — and parse them back, which is exercised by tests and
+// by the packet-filter byte-matching mode. Payload contents are not stored:
+// protocols in this model are driven by lengths and sequence numbers, which
+// is what determines the performance behaviour the paper measures.
+
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace newtos {
+
+using MacAddr = std::array<uint8_t, 6>;
+using Ipv4Addr = uint32_t;  // host byte order throughout the model
+
+// Renders "a.b.c.d".
+std::string Ipv4ToString(Ipv4Addr addr);
+
+// Builds an address from octets: Ipv4(10,0,0,1).
+constexpr Ipv4Addr Ipv4(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+  return (static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
+         (static_cast<uint32_t>(c) << 8) | d;
+}
+
+inline constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+
+struct EthHeader {
+  MacAddr dst{};
+  MacAddr src{};
+  uint16_t ether_type = kEtherTypeIpv4;
+};
+inline constexpr size_t kEthHeaderBytes = 14;
+
+enum class IpProto : uint8_t { kIcmp = 1, kTcp = 6, kUdp = 17 };
+
+struct Ipv4Header {
+  uint8_t ttl = 64;
+  IpProto proto = IpProto::kTcp;
+  Ipv4Addr src = 0;
+  Ipv4Addr dst = 0;
+  // total_length and checksum are computed by the codec.
+};
+inline constexpr size_t kIpv4HeaderBytes = 20;
+
+// TCP flag bits, matching the wire encoding.
+inline constexpr uint8_t kTcpFin = 0x01;
+inline constexpr uint8_t kTcpSyn = 0x02;
+inline constexpr uint8_t kTcpRst = 0x04;
+inline constexpr uint8_t kTcpPsh = 0x08;
+inline constexpr uint8_t kTcpAck = 0x10;
+
+// A SACK block: [start, end) of received-but-not-yet-acknowledged data.
+struct SackBlock {
+  uint32_t start = 0;
+  uint32_t end = 0;
+  friend bool operator==(const SackBlock&, const SackBlock&) = default;
+};
+inline constexpr int kMaxSackBlocks = 3;
+
+struct TcpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t flags = 0;
+  uint32_t window = 0;  // receive window in bytes (codec applies a scale of 256)
+
+  // RFC 2018 selective acknowledgment option (0..kMaxSackBlocks blocks).
+  uint8_t n_sack = 0;
+  std::array<SackBlock, kMaxSackBlocks> sack{};
+
+  bool syn() const { return (flags & kTcpSyn) != 0; }
+  bool ack_flag() const { return (flags & kTcpAck) != 0; }
+  bool fin() const { return (flags & kTcpFin) != 0; }
+  bool rst() const { return (flags & kTcpRst) != 0; }
+
+  // On-wire header size including the (padded) SACK option.
+  size_t HeaderBytes() const {
+    if (n_sack == 0) {
+      return 20;
+    }
+    const size_t opt = 2 + static_cast<size_t>(n_sack) * 8;  // kind + len + blocks
+    return 20 + (opt + 3) / 4 * 4;                           // NOP-padded to 32-bit words
+  }
+};
+inline constexpr size_t kTcpHeaderBytes = 20;  // base header, no options
+
+struct UdpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+};
+inline constexpr size_t kUdpHeaderBytes = 8;
+
+inline constexpr uint8_t kIcmpEchoReply = 0;
+inline constexpr uint8_t kIcmpEchoRequest = 8;
+
+struct IcmpHeader {
+  uint8_t type = kIcmpEchoRequest;
+  uint8_t code = 0;
+  uint16_t id = 0;
+  uint16_t seq = 0;
+};
+inline constexpr size_t kIcmpHeaderBytes = 8;
+
+struct Packet {
+  EthHeader eth;
+  Ipv4Header ip;
+  // Which L4 header is valid is selected by ip.proto.
+  TcpHeader tcp;
+  UdpHeader udp;
+  IcmpHeader icmp;
+
+  // Payload length in bytes (contents are not modeled).
+  uint32_t payload_bytes = 0;
+
+  // --- Simulation metadata (not on the wire) ---
+  uint64_t id = 0;             // unique per packet, for traces
+  SimTime created_at = 0;      // when the sending application emitted it
+  uint64_t app_tag = 0;        // opaque application marker (request ids etc.)
+
+  // Total on-wire frame size in bytes (without preamble/FCS overhead; the
+  // link model adds those).
+  uint32_t FrameBytes() const {
+    size_t l4 = kUdpHeaderBytes;
+    if (ip.proto == IpProto::kTcp) {
+      l4 = tcp.HeaderBytes();
+    } else if (ip.proto == IpProto::kIcmp) {
+      l4 = kIcmpHeaderBytes;
+    }
+    return static_cast<uint32_t>(kEthHeaderBytes + kIpv4HeaderBytes + l4 + payload_bytes);
+  }
+
+  // One-line rendering for traces: "TCP 10.0.0.1:80 > 10.0.0.2:5001 seq=..".
+  std::string ToString() const;
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+// Allocates a packet with a fresh id.
+PacketPtr MakePacket();
+
+// A 4-tuple identifying one direction of a connection.
+struct FlowKey {
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+  FlowKey Reversed() const { return {dst_ip, src_ip, dst_port, src_port}; }
+};
+
+struct FlowKeyHash {
+  size_t operator()(const FlowKey& k) const {
+    uint64_t h = (static_cast<uint64_t>(k.src_ip) << 32) | k.dst_ip;
+    h ^= (static_cast<uint64_t>(k.src_port) << 16) | k.dst_port;
+    h *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+// Extracts the flow key of a packet (TCP or UDP ports).
+FlowKey PacketFlowKey(const Packet& p);
+
+// Direction-independent flow hash: both directions of a connection map to
+// the same value. Used to shard flows across TCP server instances, the way
+// symmetric-key NIC RSS spreads flows across queues.
+size_t SymmetricFlowHash(const FlowKey& k);
+
+}  // namespace newtos
+
+#endif  // SRC_NET_PACKET_H_

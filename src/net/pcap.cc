@@ -1,0 +1,58 @@
+#include "src/net/pcap.h"
+
+#include "src/net/codec.h"
+
+namespace newtos {
+namespace {
+
+constexpr uint32_t kPcapMagic = 0xa1b2c3d4;  // microsecond-resolution pcap
+constexpr uint32_t kLinkTypeEthernet = 1;
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) : out_(path, std::ios::binary) {
+  if (!out_) {
+    return;
+  }
+  Put32(kPcapMagic);
+  Put16(2);  // version major
+  Put16(4);  // version minor
+  Put32(0);  // thiszone
+  Put32(0);  // sigfigs
+  Put32(65535);  // snaplen
+  Put32(kLinkTypeEthernet);
+}
+
+void PcapWriter::Put32(uint32_t v) {
+  // pcap headers are host-endian by convention; write little-endian and let
+  // the magic number tell readers the byte order.
+  const unsigned char b[4] = {static_cast<unsigned char>(v & 0xff),
+                              static_cast<unsigned char>((v >> 8) & 0xff),
+                              static_cast<unsigned char>((v >> 16) & 0xff),
+                              static_cast<unsigned char>((v >> 24) & 0xff)};
+  out_.write(reinterpret_cast<const char*>(b), 4);
+}
+
+void PcapWriter::Put16(uint16_t v) {
+  const unsigned char b[2] = {static_cast<unsigned char>(v & 0xff),
+                              static_cast<unsigned char>((v >> 8) & 0xff)};
+  out_.write(reinterpret_cast<const char*>(b), 2);
+}
+
+void PcapWriter::Write(const Packet& packet, SimTime at) {
+  if (!out_) {
+    return;
+  }
+  const std::vector<uint8_t> frame = SerializePacket(packet);
+  const uint32_t ts_sec = static_cast<uint32_t>(at / kSecond);
+  const uint32_t ts_usec = static_cast<uint32_t>((at % kSecond) / kMicrosecond);
+  Put32(ts_sec);
+  Put32(ts_usec);
+  Put32(static_cast<uint32_t>(frame.size()));  // captured length
+  Put32(static_cast<uint32_t>(frame.size()));  // original length
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  ++packets_written_;
+}
+
+}  // namespace newtos

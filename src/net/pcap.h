@@ -1,0 +1,49 @@
+// PcapWriter: dump simulated traffic as a real, Wireshark-readable pcap.
+//
+// Frames are serialized with the wire codec (real headers, real checksums,
+// deterministic payload patterns), timestamped with simulated time. Attach
+// to a NIC tap to capture everything a simulated machine sends/receives —
+// the debugging workflow a real stack would offer, pointed at the model.
+
+#ifndef SRC_NET_PCAP_H_
+#define SRC_NET_PCAP_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace newtos {
+
+class PcapWriter {
+ public:
+  // Opens `path` and writes the pcap global header (linktype: Ethernet).
+  explicit PcapWriter(const std::string& path);
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  // False if the file could not be opened or a write failed.
+  bool ok() const { return static_cast<bool>(out_); }
+
+  // Appends one frame captured at simulated time `at`.
+  void Write(const Packet& packet, SimTime at);
+
+  uint64_t packets_written() const { return packets_written_; }
+
+  // Flushes buffered output (also happens at destruction).
+  void Flush() { out_.flush(); }
+
+ private:
+  void Put32(uint32_t v);
+  void Put16(uint16_t v);
+
+  std::ofstream out_;
+  uint64_t packets_written_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_NET_PCAP_H_

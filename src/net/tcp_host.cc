@@ -1,0 +1,129 @@
+#include "src/net/tcp_host.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/sim/logger.h"
+
+namespace newtos {
+
+TcpHost::TcpHost(Simulation* sim, Ipv4Addr addr, std::function<void(PacketPtr)> output)
+    : sim_(sim), addr_(addr), output_(std::move(output)) {
+  assert(output_);
+}
+
+bool TcpHost::Listen(uint16_t port, AppHooks hooks, TcpParams params) {
+  auto [it, inserted] = listeners_.emplace(port, Listener{std::move(hooks), params});
+  return inserted;
+}
+
+TcpConnection* TcpHost::CreateConnection(const FlowKey& key, const TcpParams& params,
+                                         const AppHooks& hooks) {
+  // The app hooks want the TcpConnection*, which does not exist until the
+  // object is constructed — so the adapters look it up in the table by key.
+  // Callbacks only ever fire from OnSegment/timers, strictly after insertion.
+  auto lookup = [this, key]() -> TcpConnection* {
+    auto it = conns_.find(key);
+    return it != conns_.end() ? it->second.get() : nullptr;
+  };
+  TcpConnection::Callbacks full;
+  full.output = output_;
+  if (hooks.on_established) {
+    full.on_established = [lookup, fn = hooks.on_established] {
+      if (TcpConnection* c = lookup()) fn(c);
+    };
+  }
+  if (hooks.on_data) {
+    full.on_data = [lookup, fn = hooks.on_data](uint32_t bytes) {
+      if (TcpConnection* c = lookup()) fn(c, bytes);
+    };
+  }
+  if (hooks.on_drained) {
+    full.on_drained = [lookup, fn = hooks.on_drained] {
+      if (TcpConnection* c = lookup()) fn(c);
+    };
+  }
+  if (hooks.on_closed) {
+    full.on_closed = [lookup, fn = hooks.on_closed] {
+      if (TcpConnection* c = lookup()) fn(c);
+    };
+  }
+  auto conn = std::make_unique<TcpConnection>(sim_, key, params, std::move(full));
+  TcpConnection* raw = conn.get();
+  conns_[key] = std::move(conn);
+  return raw;
+}
+
+TcpConnection* TcpHost::Connect(Ipv4Addr dst, uint16_t dst_port, AppHooks hooks, TcpParams params,
+                                const std::function<bool(const FlowKey&)>& key_filter) {
+  // Find a free ephemeral port (wraps within the dynamic range) whose flow
+  // key passes the filter, if any.
+  for (int attempts = 0; attempts < 16384; ++attempts) {
+    const uint16_t port = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ >= 65535 ? 49152 : next_ephemeral_ + 1;
+    const FlowKey key{addr_, dst, port, dst_port};
+    if (key_filter && !key_filter(key)) {
+      continue;
+    }
+    if (conns_.find(key) == conns_.end()) {
+      TcpConnection* conn = CreateConnection(key, params, hooks);
+      conn->Connect();
+      return conn;
+    }
+  }
+  return nullptr;  // ephemeral range exhausted (or the filter rejected it all)
+}
+
+void TcpHost::OnPacket(const PacketPtr& p) {
+  if (p->ip.proto != IpProto::kTcp || p->ip.dst != addr_) {
+    ++dropped_no_match_;
+    return;
+  }
+  // Our flow key is the reverse of the packet's.
+  const FlowKey key = PacketFlowKey(*p).Reversed();
+  auto it = conns_.find(key);
+  if (it != conns_.end()) {
+    it->second->OnSegment(*p);
+    return;
+  }
+  if (p->tcp.syn() && !p->tcp.ack_flag()) {
+    auto lit = listeners_.find(p->tcp.dst_port);
+    if (lit != listeners_.end()) {
+      TcpConnection* conn = CreateConnection(key, lit->second.params, lit->second.hooks);
+      conn->Listen();
+      conn->OnSegment(*p);
+      return;
+    }
+  }
+  ++dropped_no_match_;
+  NEWTOS_LOG(kTrace, sim_->Now(), "tcphost", "no match for " << p->ToString());
+}
+
+void TcpHost::Destroy(TcpConnection* conn) {
+  assert(conn != nullptr);
+  conns_.erase(conn->key());
+}
+
+size_t TcpHost::ReapClosed() {
+  size_t reaped = 0;
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->second->state() == TcpState::kClosed) {
+      it = conns_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+std::vector<TcpConnection*> TcpHost::Connections() const {
+  std::vector<TcpConnection*> out;
+  out.reserve(conns_.size());
+  for (const auto& [key, conn] : conns_) {
+    out.push_back(conn.get());
+  }
+  return out;
+}
+
+}  // namespace newtos

@@ -1,0 +1,90 @@
+// Connection table: demultiplexes TCP segments to connections, owns
+// listening sockets, and allocates ephemeral ports.
+//
+// Both ends of every simulated link use this class: the "system under test"
+// wraps one inside its TCP server (charging cycle costs per operation), and
+// the remote load-generator host uses one directly with zero processing cost
+// (an infinitely fast peer, like the dedicated load machines in the paper's
+// testbed).
+
+#ifndef SRC_NET_TCP_HOST_H_
+#define SRC_NET_TCP_HOST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/net/tcp.h"
+#include "src/sim/simulation.h"
+
+namespace newtos {
+
+class TcpHost {
+ public:
+  // `output` transmits a segment toward the peer (wire, or the stack below).
+  TcpHost(Simulation* sim, Ipv4Addr addr, std::function<void(PacketPtr)> output);
+
+  TcpHost(const TcpHost&) = delete;
+  TcpHost& operator=(const TcpHost&) = delete;
+
+  Ipv4Addr addr() const { return addr_; }
+
+  // Application hooks for a connection created by Connect or by a listener.
+  struct AppHooks {
+    std::function<void(TcpConnection*)> on_established;
+    std::function<void(TcpConnection*, uint32_t bytes)> on_data;
+    std::function<void(TcpConnection*)> on_drained;
+    std::function<void(TcpConnection*)> on_closed;
+  };
+
+  // Starts accepting connections on `port`. `hooks` apply to every accepted
+  // connection. Returns false if the port is already bound.
+  bool Listen(uint16_t port, AppHooks hooks, TcpParams params = {});
+
+  // Active open to dst:dst_port from an ephemeral local port. When
+  // `key_filter` is set, only ephemeral ports whose resulting flow key
+  // satisfies it are used — how a sharded stack picks source ports that RSS
+  // back to the issuing shard.
+  TcpConnection* Connect(Ipv4Addr dst, uint16_t dst_port, AppHooks hooks, TcpParams params = {},
+                         const std::function<bool(const FlowKey&)>& key_filter = {});
+
+  // Input from the wire/stack. Creates a connection on SYN to a bound
+  // listener; otherwise demuxes to the matching connection (or drops).
+  void OnPacket(const PacketPtr& p);
+
+  // Destroys a connection object (after kClosed). Invalidates the pointer.
+  void Destroy(TcpConnection* conn);
+
+  // Removes every closed connection from the table (periodic GC in long runs).
+  size_t ReapClosed();
+
+  size_t connection_count() const { return conns_.size(); }
+  uint64_t dropped_no_match() const { return dropped_no_match_; }
+
+  // Enumerates live connections (stable order not guaranteed).
+  std::vector<TcpConnection*> Connections() const;
+
+ private:
+  struct Listener {
+    AppHooks hooks;
+    TcpParams params;
+  };
+
+  TcpConnection* CreateConnection(const FlowKey& key, const TcpParams& params,
+                                  const AppHooks& hooks);
+
+  Simulation* sim_;
+  Ipv4Addr addr_;
+  std::function<void(PacketPtr)> output_;
+  std::unordered_map<uint16_t, Listener> listeners_;
+  std::unordered_map<FlowKey, std::unique_ptr<TcpConnection>, FlowKeyHash> conns_;
+  uint16_t next_ephemeral_ = 49152;
+  uint64_t dropped_no_match_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_NET_TCP_HOST_H_

@@ -1,0 +1,48 @@
+#include "src/net/udp.h"
+
+#include <cassert>
+#include <utility>
+
+namespace newtos {
+
+UdpHost::UdpHost(Simulation* sim, Ipv4Addr addr, std::function<void(PacketPtr)> output)
+    : sim_(sim), addr_(addr), output_(std::move(output)) {
+  assert(output_);
+}
+
+bool UdpHost::Bind(uint16_t port, ReceiveFn on_receive) {
+  return bindings_.emplace(port, std::move(on_receive)).second;
+}
+
+void UdpHost::Unbind(uint16_t port) { bindings_.erase(port); }
+
+PacketPtr UdpHost::Send(uint16_t src_port, Ipv4Addr dst, uint16_t dst_port,
+                        uint32_t payload_bytes, uint64_t app_tag) {
+  PacketPtr p = MakePacket();
+  p->ip.proto = IpProto::kUdp;
+  p->ip.src = addr_;
+  p->ip.dst = dst;
+  p->udp.src_port = src_port;
+  p->udp.dst_port = dst_port;
+  p->payload_bytes = payload_bytes;
+  p->app_tag = app_tag;
+  p->created_at = sim_->Now();
+  output_(p);
+  return p;
+}
+
+void UdpHost::OnPacket(const PacketPtr& p) {
+  if (p->ip.proto != IpProto::kUdp || p->ip.dst != addr_) {
+    ++dropped_unbound_;
+    return;
+  }
+  auto it = bindings_.find(p->udp.dst_port);
+  if (it == bindings_.end()) {
+    ++dropped_unbound_;
+    return;
+  }
+  ++delivered_;
+  it->second(p);
+}
+
+}  // namespace newtos

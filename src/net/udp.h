@@ -1,0 +1,56 @@
+// Minimal UDP endpoint: bind, send datagrams, receive by port demux.
+//
+// UDP exercises the connectionless path through the multiserver stack (the
+// paper's stack has a dedicated UDP server alongside TCP).
+
+#ifndef SRC_NET_UDP_H_
+#define SRC_NET_UDP_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/net/packet.h"
+#include "src/sim/simulation.h"
+
+namespace newtos {
+
+class UdpHost {
+ public:
+  // Called with (packet) for each datagram delivered to a bound port.
+  using ReceiveFn = std::function<void(const PacketPtr&)>;
+
+  UdpHost(Simulation* sim, Ipv4Addr addr, std::function<void(PacketPtr)> output);
+
+  UdpHost(const UdpHost&) = delete;
+  UdpHost& operator=(const UdpHost&) = delete;
+
+  Ipv4Addr addr() const { return addr_; }
+
+  // Binds `port`; returns false if already bound.
+  bool Bind(uint16_t port, ReceiveFn on_receive);
+  void Unbind(uint16_t port);
+
+  // Emits a datagram. `payload_bytes` may exceed nothing — UDP does not
+  // fragment here; callers must respect the MTU (checked in debug builds).
+  PacketPtr Send(uint16_t src_port, Ipv4Addr dst, uint16_t dst_port, uint32_t payload_bytes,
+                 uint64_t app_tag = 0);
+
+  // Input from the wire/stack; drops datagrams to unbound ports.
+  void OnPacket(const PacketPtr& p);
+
+  uint64_t delivered() const { return delivered_; }
+  uint64_t dropped_unbound() const { return dropped_unbound_; }
+
+ private:
+  Simulation* sim_;
+  Ipv4Addr addr_;
+  std::function<void(PacketPtr)> output_;
+  std::unordered_map<uint16_t, ReceiveFn> bindings_;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_unbound_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_NET_UDP_H_

@@ -1,0 +1,83 @@
+// Application process pinned to a core: the workload's execution container.
+//
+// An AppProcess consumes socket events on its event channel and submits
+// socket requests back to the L4 server (or syscall gateway), paying cycle
+// costs on its own core for both — plus whatever Compute() work the workload
+// injects between them. Workloads (src/workload) provide the Behavior; this
+// class provides the plumbing.
+
+#ifndef SRC_OS_APP_PROCESS_H_
+#define SRC_OS_APP_PROCESS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/os/server.h"
+
+namespace newtos {
+
+class AppProcess : public Server {
+ public:
+  struct Behavior {
+    // Cycles to process one incoming event (default 300 when unset).
+    std::function<Cycles(const Msg&)> cost_for;
+    // Reaction to an incoming event: issue requests, compute, record metrics.
+    std::function<void(AppProcess&, const Msg&)> on_event;
+    // Cycles charged per submitted request (the "syscall stub" on the app
+    // side: marshalling + ring enqueue).
+    Cycles request_cycles = 350;
+  };
+
+  AppProcess(Simulation* sim, std::string name, Behavior behavior, size_t chan_capacity,
+             const ChannelCostModel& chan_cost);
+
+  // Replaces the workload behavior (used by SocketApi adapters; only safe
+  // while no event is in flight, i.e. before traffic starts).
+  void set_behavior(Behavior behavior) { behavior_ = std::move(behavior); }
+
+  // Event channel: register this with TcpServer/UdpServer/SyscallServer.
+  Chan* events() { return events_in_; }
+
+  // Where requests are sent (tcp->app_in(), udp->app_in(), or syscall req_in).
+  void set_request_out(Chan* out) { req_out_ = out; }
+
+  // App id assigned by the L4 server at registration; stamped onto requests.
+  void set_app_id(uint32_t id) { app_id_ = id; }
+  uint32_t app_id() const { return app_id_; }
+
+  // Queues a socket request; the request_cycles cost lands on this core.
+  void Request(Msg msg);
+
+  // Convenience request builders.
+  uint64_t Connect(Ipv4Addr dst, uint16_t port);  // returns the new handle
+  void ListenTcp(uint16_t port);
+  void SendBytes(uint64_t handle, uint64_t bytes);
+  void Close(uint64_t handle);
+
+  // Pure application compute on this core; `then` runs when it retires.
+  void Compute(Cycles cycles, std::function<void()> then = nullptr);
+
+  uint64_t AllocHandle() { return next_handle_++; }
+  uint64_t requests_sent() const { return requests_sent_; }
+  uint64_t events_seen() const { return events_seen_; }
+
+ protected:
+  Cycles CostFor(const Msg& msg) override;
+  void Handle(const Msg& msg) override;
+
+ private:
+  Behavior behavior_;
+  Chan* events_in_ = nullptr;
+  Chan* req_out_ = nullptr;
+  std::deque<Msg> pending_req_;
+  uint32_t app_id_ = 0;
+  uint64_t next_handle_ = 1;
+  uint64_t requests_sent_ = 0;
+  uint64_t events_seen_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_OS_APP_PROCESS_H_

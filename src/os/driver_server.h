@@ -1,0 +1,54 @@
+// Network driver server: the stack stage that owns the NIC.
+//
+// RX: the NIC's ring is a work source; each received frame costs
+// rx_per_packet cycles and is forwarded up the stack. TX: a channel of
+// outbound packets; each costs tx_per_packet cycles and is posted to the
+// NIC's TX ring. A crash drops the frames sitting in the rings' software
+// view (the hardware rings survive, like a re-attachable device).
+
+#ifndef SRC_OS_DRIVER_SERVER_H_
+#define SRC_OS_DRIVER_SERVER_H_
+
+#include <cstdint>
+
+#include "src/hw/nic.h"
+#include "src/os/costs.h"
+#include "src/os/server.h"
+
+namespace newtos {
+
+class DriverServer : public Server {
+ public:
+  DriverServer(Simulation* sim, Nic* nic, const DriverCosts& costs, size_t tx_chan_capacity,
+               const ChannelCostModel& chan_cost);
+
+  // Stage above (IP) for received packets; must be set before traffic flows.
+  void set_rx_upstream(Chan* up) { rx_upstream_ = up; }
+
+  // Where the stack pushes outbound packets.
+  Chan* tx_in() { return tx_in_; }
+
+  const DriverCosts& costs() const { return costs_; }
+  uint64_t rx_forwarded() const { return rx_forwarded_; }
+  uint64_t tx_posted() const { return tx_posted_; }
+  uint64_t tx_nic_rejects() const { return tx_nic_rejects_; }
+
+ protected:
+  Cycles CostFor(const Msg& msg) override;
+  void Handle(const Msg& msg) override;
+  void OnCrash() override;
+  void OnRestart() override;
+
+ private:
+  Nic* nic_;
+  DriverCosts costs_;
+  Chan* tx_in_ = nullptr;
+  Chan* rx_upstream_ = nullptr;
+  uint64_t rx_forwarded_ = 0;
+  uint64_t tx_posted_ = 0;
+  uint64_t tx_nic_rejects_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_OS_DRIVER_SERVER_H_

@@ -1,0 +1,29 @@
+#include "src/os/microreboot.h"
+
+namespace newtos {
+
+size_t MicrorebootManager::InjectCrash(Server* server, SimTime at, Cycles restart_cycles) {
+  const size_t index = incidents_.size();
+  incidents_.push_back(Incident{server->name(), 0, 0, 0});
+  sim_->ScheduleAt(at, [this, server, restart_cycles, index] {
+    incidents_[index].crashed_at = sim_->Now();
+    server->Crash();
+    sim_->Schedule(detection_latency_, [this, server, restart_cycles, index] {
+      incidents_[index].detected_at = sim_->Now();
+      server->Restart(restart_cycles,
+                      [this, index] { incidents_[index].recovered_at = sim_->Now(); });
+    });
+  });
+  return index;
+}
+
+bool MicrorebootManager::AllRecovered() const {
+  for (const Incident& i : incidents_) {
+    if (i.recovered_at == 0) {
+      return false;
+    }
+  }
+  return !incidents_.empty();
+}
+
+}  // namespace newtos

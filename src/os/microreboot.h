@@ -1,0 +1,55 @@
+// MicrorebootManager: fault injection and recovery orchestration.
+//
+// Plays the role of the paper's resurrection infrastructure: a crashed
+// server is detected after a keepalive interval, then rebooted; the reboot's
+// cycle cost lands on the server's own core (a slower core reboots slower —
+// one of the questions Fig. 8 answers). Each incident is recorded with
+// crash/detection/recovery timestamps so benches can report recovery time
+// and the throughput dip around it.
+
+#ifndef SRC_OS_MICROREBOOT_H_
+#define SRC_OS_MICROREBOOT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/os/server.h"
+#include "src/sim/simulation.h"
+
+namespace newtos {
+
+class MicrorebootManager {
+ public:
+  explicit MicrorebootManager(Simulation* sim) : sim_(sim) {}
+
+  struct Incident {
+    std::string server;
+    SimTime crashed_at = 0;
+    SimTime detected_at = 0;
+    SimTime recovered_at = 0;  // 0 until recovery completes
+
+    SimTime RecoveryTime() const { return recovered_at - crashed_at; }
+  };
+
+  // Default keepalive: the monitor notices a dead server within this time.
+  void set_detection_latency(SimTime latency) { detection_latency_ = latency; }
+
+  // Schedules a crash of `server` at absolute time `at`; detection and
+  // restart (with `restart_cycles` on the server's core) follow
+  // automatically. Returns the incident index.
+  size_t InjectCrash(Server* server, SimTime at, Cycles restart_cycles);
+
+  const std::vector<Incident>& incidents() const { return incidents_; }
+
+  // True once every injected incident has completed recovery.
+  bool AllRecovered() const;
+
+ private:
+  Simulation* sim_;
+  SimTime detection_latency_ = 200 * kMicrosecond;
+  std::vector<Incident> incidents_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_OS_MICROREBOOT_H_

@@ -1,0 +1,33 @@
+#include "src/os/peer_host.h"
+
+#include <utility>
+
+namespace newtos {
+
+PeerHost::PeerHost(Simulation* sim, Ipv4Addr addr, Nic* nic, TcpParams tcp_params)
+    : sim_(sim), nic_(nic), tcp_params_(tcp_params) {
+  tcp_ = std::make_unique<TcpHost>(sim_, addr, [this](PacketPtr p) { Output(std::move(p)); });
+  udp_ = std::make_unique<UdpHost>(sim_, addr, [this](PacketPtr p) { Output(std::move(p)); });
+  nic_->SetRxNotify([this] { DrainRx(); });
+}
+
+void PeerHost::DrainRx() {
+  // Zero-cost host: the ring drains instantly.
+  while (PacketPtr p = nic_->PollRx()) {
+    if (p->ip.proto == IpProto::kTcp) {
+      tcp_->OnPacket(p);
+    } else if (p->ip.proto == IpProto::kUdp) {
+      udp_->OnPacket(p);
+    } else if (icmp_handler_) {
+      icmp_handler_(p);
+    }
+  }
+}
+
+void PeerHost::Output(PacketPtr p) {
+  if (!nic_->Transmit(std::move(p))) {
+    ++tx_ring_full_drops_;  // TCP's retransmission recovers; UDP loses it
+  }
+}
+
+}  // namespace newtos

@@ -1,0 +1,65 @@
+// PeerHost: the remote load-generation machine, modeled with zero CPU cost.
+//
+// The paper's testbed drove the system under test from separate machines
+// that were never the bottleneck. PeerHost reproduces that: a NIC directly
+// wired to full TcpHost/UdpHost protocol state with no cycle accounting, so
+// the peer is "infinitely fast" and everything measured is attributable to
+// the system under test. Protocol behaviour (ACK clocking, congestion
+// control, retransmission) is still fully real on this side.
+
+#ifndef SRC_OS_PEER_HOST_H_
+#define SRC_OS_PEER_HOST_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/hw/nic.h"
+#include "src/net/tcp_host.h"
+#include "src/net/udp.h"
+#include "src/sim/simulation.h"
+
+namespace newtos {
+
+class PeerHost {
+ public:
+  // `nic` must outlive the peer; typically owned by a Machine or standalone.
+  PeerHost(Simulation* sim, Ipv4Addr addr, Nic* nic, TcpParams tcp_params = {});
+
+  PeerHost(const PeerHost&) = delete;
+  PeerHost& operator=(const PeerHost&) = delete;
+
+  Simulation* sim() { return sim_; }
+  Ipv4Addr addr() const { return tcp_->addr(); }
+
+  // Protocol parameters the peer applies to its listeners and connects
+  // (workload classes read these) — must match the SUT's feature set, e.g.
+  // SACK, for the option to be effective end to end.
+  const TcpParams& tcp_params() const { return tcp_params_; }
+  TcpHost& tcp() { return *tcp_; }
+  UdpHost& udp() { return *udp_; }
+  Nic* nic() { return nic_; }
+
+  uint64_t tx_ring_full_drops() const { return tx_ring_full_drops_; }
+
+  // Raw packet transmission (used by the ping workload).
+  void SendPacket(PacketPtr p) { Output(std::move(p)); }
+
+  // Receives every inbound ICMP packet (echo replies, for ping RTTs).
+  void SetIcmpHandler(std::function<void(const PacketPtr&)> fn) { icmp_handler_ = std::move(fn); }
+
+ private:
+  void DrainRx();
+  void Output(PacketPtr p);
+
+  Simulation* sim_;
+  Nic* nic_;
+  TcpParams tcp_params_;
+  std::unique_ptr<TcpHost> tcp_;
+  std::unique_ptr<UdpHost> udp_;
+  std::function<void(const PacketPtr&)> icmp_handler_;
+  uint64_t tx_ring_full_drops_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_OS_PEER_HOST_H_

@@ -1,0 +1,178 @@
+#include "src/os/server.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/sim/logger.h"
+
+namespace newtos {
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kPacketRx:
+      return "PacketRx";
+    case MsgType::kPacketTx:
+      return "PacketTx";
+    case MsgType::kSockConnect:
+      return "SockConnect";
+    case MsgType::kSockListen:
+      return "SockListen";
+    case MsgType::kSockSend:
+      return "SockSend";
+    case MsgType::kSockClose:
+      return "SockClose";
+    case MsgType::kSockRead:
+      return "SockRead";
+    case MsgType::kEvtEstablished:
+      return "EvtEstablished";
+    case MsgType::kEvtAccepted:
+      return "EvtAccepted";
+    case MsgType::kEvtData:
+      return "EvtData";
+    case MsgType::kEvtDrained:
+      return "EvtDrained";
+    case MsgType::kEvtClosed:
+      return "EvtClosed";
+    case MsgType::kCtlCrash:
+      return "CtlCrash";
+    case MsgType::kCtlRestart:
+      return "CtlRestart";
+  }
+  return "?";
+}
+
+Server::Server(Simulation* sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+
+void Server::BindCore(Core* core) { core_ = core; }
+
+Server::Chan* Server::CreateInput(const std::string& chan_name, size_t capacity,
+                                  const ChannelCostModel& cost) {
+  owned_inputs_.push_back(
+      std::make_unique<Chan>(sim_, name_ + "/" + chan_name, capacity, cost));
+  Chan* ch = owned_inputs_.back().get();
+  ch->SetNotify([this] { MaybeSchedule(); });
+  AddWorkSource(WorkSource{
+      .has_work = [ch] { return !ch->empty(); },
+      .take = [ch] { return *ch->Pop(); },
+      .overhead_cycles = cost.dequeue_cycles,
+  });
+  return ch;
+}
+
+void Server::AddWorkSource(WorkSource source) { sources_.push_back(std::move(source)); }
+
+Server::WorkSource* Server::PickSource() {
+  if (sources_.empty()) {
+    return nullptr;
+  }
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    const size_t idx = (rr_next_ + i) % sources_.size();
+    WorkSource& s = sources_[idx];
+    if (s.has_work()) {
+      rr_next_ = (idx + 1) % sources_.size();
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+bool Server::Idle() const {
+  if (processing_) {
+    return false;
+  }
+  for (const WorkSource& s : sources_) {
+    if (s.has_work()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Server::NotifyIdleChange() {
+  const bool idle = Idle();
+  if (idle != last_reported_idle_) {
+    last_reported_idle_ = idle;
+    if (idle_observer_) {
+      idle_observer_(idle);
+    }
+  }
+}
+
+void Server::MaybeSchedule() {
+  if (processing_ || crashed_) {
+    return;
+  }
+  assert(core_ != nullptr && "server must be bound to a core before traffic flows");
+  WorkSource* src = PickSource();
+  if (src == nullptr) {
+    NotifyIdleChange();
+    return;
+  }
+  processing_ = true;
+  NotifyIdleChange();
+  // Drain a burst from the chosen source into one core work item: the cycle
+  // costs add up per message, but tenant-switch pollution is paid once per
+  // burst — exactly how batched poll loops amortize co-location.
+  std::vector<Msg> batch;
+  Cycles cost = 0;
+  for (int n = 0; n < source_batch_limit_ && src->has_work(); ++n) {
+    Msg msg = src->take();
+    cost += src->overhead_cycles + CostFor(msg);
+    batch.push_back(std::move(msg));
+  }
+  if (core_->SetTenant(this)) {
+    cost += tenant_switch_cycles_;
+    core_->CountTenantSwitch();
+  }
+  const uint64_t gen = generation_;
+  core_->Execute(cost, [this, gen, batch = std::move(batch)]() {
+    if (gen != generation_) {
+      return;  // the server crashed (and possibly restarted) mid-flight
+    }
+    for (const Msg& msg : batch) {
+      ++messages_processed_;
+      Handle(msg);
+    }
+    processing_ = false;
+    MaybeSchedule();
+  });
+}
+
+void Server::Crash() {
+  if (crashed_) {
+    return;
+  }
+  NEWTOS_LOG(kInfo, sim_->Now(), name_, "CRASH injected (gen " << generation_ << ")");
+  crashed_ = true;
+  ++generation_;  // invalidates the in-flight completion, if any
+  processing_ = false;
+  for (auto& ch : owned_inputs_) {
+    while (auto m = ch->Pop()) {
+      ++messages_lost_to_crash_;
+    }
+  }
+  OnCrash();
+  NotifyIdleChange();
+}
+
+void Server::Restart(Cycles restart_cycles, std::function<void()> on_ready) {
+  if (!crashed_) {
+    return;
+  }
+  assert(core_ != nullptr);
+  const uint64_t gen = generation_;
+  core_->Execute(restart_cycles, [this, gen, on_ready = std::move(on_ready)] {
+    if (gen != generation_) {
+      return;  // crashed again while rebooting
+    }
+    crashed_ = false;
+    OnRestart();
+    NEWTOS_LOG(kInfo, sim_->Now(), name_, "restarted (gen " << generation_ << ")");
+    if (on_ready) {
+      on_ready();
+    }
+    MaybeSchedule();
+  });
+}
+
+}  // namespace newtos

@@ -1,0 +1,149 @@
+// Server: base class for multiserver OS components pinned to cores.
+//
+// A server is a message-driven state machine. It draws messages from its
+// *work sources* (input channels, or custom sources like a NIC RX ring),
+// charges the per-message cycle cost to the core it is pinned on, and then
+// performs the semantic action (Handle), which typically pushes messages
+// into downstream channels. Sources are drained round-robin, one message at
+// a time, exactly like the poll loop of a NewtOS server.
+//
+// Cost accounting convention: CostFor() returns the full cycle count for a
+// message — dequeue from the input ring, protocol work, and the enqueue(s)
+// of any output the handler will produce. Folding the enqueue into the same
+// work item keeps the event count at ~2 events per message per stage.
+//
+// Crash model: Crash() bumps the server's generation, empties its inputs
+// (in-flight messages are lost — they lived in the dead address space) and
+// invokes OnCrash() so subclasses lose whatever state the paper's recovery
+// story says they lose. Restart() charges the reboot cost to the core and
+// then calls OnRestart(). The MicrorebootManager drives both.
+
+#ifndef SRC_OS_SERVER_H_
+#define SRC_OS_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chan/sim_channel.h"
+#include "src/hw/cpu.h"
+#include "src/os/message.h"
+#include "src/sim/simulation.h"
+
+namespace newtos {
+
+class Server {
+ public:
+  using Chan = SimChannel<Msg>;
+
+  Server(Simulation* sim, std::string name);
+  virtual ~Server() = default;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const std::string& name() const { return name_; }
+  Simulation* sim() const { return sim_; }
+
+  // Pins the server to a core. Must be called before traffic flows; may be
+  // called again (re-steering) between experiments when the pipeline is idle.
+  void BindCore(Core* core);
+  Core* core() const { return core_; }
+
+  // Creates an input channel owned by this server; its notify hook schedules
+  // processing. Other components hold the returned pointer to push into it.
+  Chan* CreateInput(const std::string& chan_name, size_t capacity,
+                    const ChannelCostModel& cost = {});
+
+  // Registers a custom work source (e.g. the NIC RX ring).
+  struct WorkSource {
+    std::function<bool()> has_work;
+    std::function<Msg()> take;          // precondition: has_work()
+    Cycles overhead_cycles = 0;         // dequeue-equivalent cost of taking one item
+  };
+  void AddWorkSource(WorkSource source);
+
+  // Kicks the poll loop; cheap and idempotent. Called by channel notifies.
+  void MaybeSchedule();
+
+  // --- Fault injection / recovery ---
+
+  // Kills the server: inputs are drained to the floor, in-flight work is
+  // invalidated, OnCrash() runs. The server stays dead until Restart().
+  void Crash();
+
+  // Reboots: charges `restart_cycles` to the core, then OnRestart() runs and
+  // processing resumes. No-op if not crashed.
+  void Restart(Cycles restart_cycles, std::function<void()> on_ready = nullptr);
+
+  bool crashed() const { return crashed_; }
+  uint64_t generation() const { return generation_; }
+
+  // --- Statistics ---
+  uint64_t messages_processed() const { return messages_processed_; }
+  uint64_t messages_lost_to_crash() const { return messages_lost_to_crash_; }
+
+  // True if every source is empty and nothing is executing: the server's
+  // poll loop is spinning dry. Poll policies use this.
+  bool Idle() const;
+
+  // Cold-cache penalty charged when this server runs on a core right after
+  // a *different* server did (cache/TLB pollution from co-location). Zero
+  // for servers that own their core outright.
+  void set_tenant_switch_cycles(Cycles c) { tenant_switch_cycles_ = c; }
+  Cycles tenant_switch_cycles() const { return tenant_switch_cycles_; }
+
+  // Burst scheduling: the poll loop drains up to this many consecutive
+  // messages from one source before rotating to the next (NAPI-style
+  // batching — it amortizes tenant switches when servers share a core, at
+  // a small cost in cross-source fairness). 1 = strict round-robin.
+  void set_source_batch_limit(int limit) { source_batch_limit_ = limit > 0 ? limit : 1; }
+  int source_batch_limit() const { return source_batch_limit_; }
+
+  // Invoked on busy->idle and idle->busy transitions (for poll policies).
+  void SetIdleObserver(std::function<void(bool idle)> fn) { idle_observer_ = std::move(fn); }
+
+ protected:
+  // Cycle cost of fully processing `msg` (dequeue + work + output enqueues).
+  virtual Cycles CostFor(const Msg& msg) = 0;
+
+  // Semantic action; runs after the cost has been charged to the core.
+  virtual void Handle(const Msg& msg) = 0;
+
+  // State-loss hooks for the crash model.
+  virtual void OnCrash() {}
+  virtual void OnRestart() {}
+
+  // Pushes into a downstream channel (the enqueue cost is part of CostFor).
+  // Returns false if the channel was full (message dropped — downstream
+  // protocols recover, exactly as with a full real ring).
+  static bool Emit(Chan* out, Msg msg) { return out->Push(std::move(msg)); }
+
+ private:
+  void NotifyIdleChange();
+  WorkSource* PickSource();
+
+  Simulation* sim_;
+  std::string name_;
+  Core* core_ = nullptr;
+
+  std::vector<std::unique_ptr<Chan>> owned_inputs_;
+  std::vector<WorkSource> sources_;
+  size_t rr_next_ = 0;
+  int source_batch_limit_ = 16;
+
+  Cycles tenant_switch_cycles_ = 250;
+  bool processing_ = false;
+  bool crashed_ = false;
+  uint64_t generation_ = 0;
+  uint64_t messages_processed_ = 0;
+  uint64_t messages_lost_to_crash_ = 0;
+  bool last_reported_idle_ = true;
+  std::function<void(bool)> idle_observer_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_OS_SERVER_H_

@@ -1,0 +1,73 @@
+// UDP server: the connectionless L4 sibling of the TCP server.
+//
+// Apps bind ports (kSockListen) and send datagrams (kSockSend with addr and
+// port filled in); received datagrams are delivered as kEvtData carrying the
+// payload size, tagged with the binding's handle.
+
+#ifndef SRC_OS_UDP_SERVER_H_
+#define SRC_OS_UDP_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/udp.h"
+#include "src/os/costs.h"
+#include "src/os/server.h"
+
+namespace newtos {
+
+class UdpServer : public Server {
+ public:
+  UdpServer(Simulation* sim, Ipv4Addr addr, const UdpCosts& costs, size_t chan_capacity,
+            const ChannelCostModel& chan_cost);
+
+  void set_ip_tx(Chan* ip_tx) { ip_tx_ = ip_tx; }
+
+  Chan* rx_in() { return rx_in_; }
+  Chan* app_in() { return app_in_; }
+
+  uint32_t RegisterApp(Chan* app_events);
+
+  UdpHost& host() { return *host_; }
+  uint64_t datagrams_in() const { return datagrams_in_; }
+  uint64_t datagrams_out() const { return datagrams_out_; }
+
+ protected:
+  Cycles CostFor(const Msg& msg) override;
+  void Handle(const Msg& msg) override;
+  void OnCrash() override;
+  void OnRestart() override;
+
+ private:
+  struct Binding {
+    uint32_t app = 0;
+    uint64_t handle = 0;
+    uint16_t udp_port = 0;
+  };
+
+  void MakeHost();
+  void BindPort(const Binding& b);
+
+  Ipv4Addr addr_;
+  UdpCosts costs_;
+  Chan* rx_in_ = nullptr;
+  Chan* app_in_ = nullptr;
+  Chan* ip_tx_ = nullptr;
+
+  std::unique_ptr<UdpHost> host_;
+  std::deque<PacketPtr> pending_tx_;
+  std::deque<Msg> pending_evt_;
+  std::vector<Chan*> apps_;
+  std::vector<Binding> bindings_;  // recovery set
+  std::unordered_map<uint64_t, Binding> by_handle_;  // handle -> binding
+
+  uint64_t datagrams_in_ = 0;
+  uint64_t datagrams_out_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_OS_UDP_SERVER_H_

@@ -1,0 +1,54 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+
+namespace newtos {
+
+bool EventHandle::Cancel() {
+  if (!state_ || state_->fired || state_->cancelled) {
+    return false;
+  }
+  state_->cancelled = true;
+  return true;
+}
+
+bool EventHandle::pending() const { return state_ && !state_->fired && !state_->cancelled; }
+
+EventHandle EventQueue::Push(SimTime when, std::function<void()> fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{when, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::Empty() {
+  SkipCancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::NextTime() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+std::pair<SimTime, std::function<void()>> EventQueue::Pop() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the callback must be moved out, so cast
+  // away constness of the entry we are about to pop. This is the standard
+  // idiom for move-out-of-priority_queue and is safe because pop() follows
+  // immediately.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  auto result = std::make_pair(top.when, std::move(top.fn));
+  top.state->fired = true;
+  heap_.pop();
+  return result;
+}
+
+}  // namespace newtos

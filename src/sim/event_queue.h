@@ -1,0 +1,100 @@
+// A cancellable, deterministic discrete-event queue.
+//
+// Events scheduled for the same instant fire in the order they were scheduled
+// (FIFO tie-break on a monotonically increasing sequence number), which makes
+// every simulation in this project bit-for-bit reproducible.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace newtos {
+
+// Handle to a scheduled event; allows cancellation. Default-constructed
+// handles are inert. Handles are cheap to copy (shared ownership of a small
+// control block).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Safe to call repeatedly and on
+  // inert handles. Returns true if this call prevented a pending event.
+  bool Cancel();
+
+  // True if the event is still scheduled (not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+// Min-heap of timed callbacks. Not thread-safe: the simulator is
+// single-threaded by design.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Enqueues `fn` to fire at absolute time `when`. `when` may be in the past
+  // relative to other queued events; ordering is purely by (when, seq).
+  EventHandle Push(SimTime when, std::function<void()> fn);
+
+  // True if no live (uncancelled) events remain. May lazily discard cancelled
+  // entries at the top of the heap.
+  bool Empty();
+
+  // Time of the earliest live event. Precondition: !Empty().
+  SimTime NextTime();
+
+  // Removes and returns the earliest live event's callback, along with its
+  // time. Precondition: !Empty().
+  std::pair<SimTime, std::function<void()>> Pop();
+
+  // Number of entries currently held, including not-yet-discarded cancelled
+  // ones. For tests and diagnostics.
+  size_t RawSize() const { return heap_.size(); }
+
+  // Total number of events ever pushed.
+  uint64_t pushed() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops cancelled entries from the top of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

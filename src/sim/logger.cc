@@ -1,0 +1,45 @@
+#include "src/sim/logger.h"
+
+#include <iostream>
+
+namespace newtos {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+std::ostream* g_sink = nullptr;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) { g_level = level; }
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::SetSink(std::ostream* sink) { g_sink = sink; }
+
+void Logger::Log(LogLevel level, SimTime now, const std::string& component,
+                 const std::string& message) {
+  if (level < g_level) {
+    return;
+  }
+  std::ostream& out = g_sink != nullptr ? *g_sink : std::clog;
+  out << "[" << FormatTime(now) << "] " << LevelName(level) << " " << component << ": " << message
+      << "\n";
+}
+
+}  // namespace newtos

@@ -1,0 +1,48 @@
+// Minimal leveled, sim-time-stamped logging for model components.
+//
+// Logging is off (WARN) by default so benches stay quiet; tests and examples
+// flip the level. The logger is global state on purpose: it is diagnostic
+// plumbing, not part of the model.
+
+#ifndef SRC_SIM_LOGGER_H_
+#define SRC_SIM_LOGGER_H_
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace newtos {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+class Logger {
+ public:
+  // Global minimum level; messages below it are dropped cheaply.
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+
+  // Redirects output (default: std::clog). Pass nullptr to restore default.
+  static void SetSink(std::ostream* sink);
+
+  // Emits one line: "[  12.345us] lvl component: message".
+  static void Log(LogLevel level, SimTime now, const std::string& component,
+                  const std::string& message);
+};
+
+// Usage: NEWTOS_LOG(kDebug, sim.Now(), "tcp", "cwnd=" << cwnd). The stream
+// expression is not evaluated when the level is filtered out.
+#define NEWTOS_LOG(level_, now_, component_, stream_)                           \
+  do {                                                                          \
+    if (::newtos::LogLevel::level_ >= ::newtos::Logger::level()) {              \
+      std::ostringstream newtos_log_oss_;                                       \
+      newtos_log_oss_ << stream_;                                               \
+      ::newtos::Logger::Log(::newtos::LogLevel::level_, (now_), (component_),   \
+                            newtos_log_oss_.str());                             \
+    }                                                                           \
+  } while (0)
+
+}  // namespace newtos
+
+#endif  // SRC_SIM_LOGGER_H_

@@ -1,0 +1,58 @@
+// Deterministic random number generation for simulations.
+//
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64. We do not use
+// <random>'s engines because their distributions are not guaranteed to produce
+// identical streams across standard library implementations; reproducibility
+// of every experiment matters more here than statistical exotica.
+
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace newtos {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform in [0, 2^64).
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Bounded Pareto on [lo, hi] with shape alpha (> 0). Heavy-tailed file-size
+  // distributions in the HTTP workload use this.
+  double BoundedPareto(double lo, double hi, double alpha);
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  // Precondition: at least one weight > 0.
+  size_t Discrete(const std::vector<double>& weights);
+
+  // Derives an independent child generator (for per-component streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace newtos
+
+#endif  // SRC_SIM_RANDOM_H_

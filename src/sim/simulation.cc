@@ -1,0 +1,51 @@
+#include "src/sim/simulation.h"
+
+#include <cassert>
+#include <utility>
+
+namespace newtos {
+
+EventHandle Simulation::Schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  return queue_.Push(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  return queue_.Push(when, std::move(fn));
+}
+
+void Simulation::Step() {
+  auto [when, fn] = queue_.Pop();
+  assert(when >= now_ && "event queue went backwards in time");
+  now_ = when;
+  ++events_processed_;
+  fn();
+}
+
+uint64_t Simulation::Run() {
+  stop_requested_ = false;
+  const uint64_t before = events_processed_;
+  while (!stop_requested_ && !queue_.Empty()) {
+    Step();
+  }
+  return events_processed_ - before;
+}
+
+uint64_t Simulation::RunUntil(SimTime until) {
+  stop_requested_ = false;
+  const uint64_t before = events_processed_;
+  while (!stop_requested_ && !queue_.Empty() && queue_.NextTime() <= until) {
+    Step();
+  }
+  if (!stop_requested_ && now_ < until) {
+    now_ = until;
+  }
+  return events_processed_ - before;
+}
+
+}  // namespace newtos

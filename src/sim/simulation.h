@@ -1,0 +1,67 @@
+// The discrete-event simulation driver.
+//
+// A `Simulation` owns the clock and the event queue. Model components keep a
+// pointer to it and schedule callbacks; the main loop pops events in time
+// order and advances the clock. Everything downstream (cores, NICs, servers)
+// is built on this single primitive.
+
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace newtos {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Current simulated time.
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now. Negative delays clamp to zero
+  // (fire "immediately", after already-queued events at the current instant).
+  EventHandle Schedule(SimTime delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `when`; clamps to Now() if in the past.
+  EventHandle ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Runs until the queue is empty or Stop() is called. Returns the number of
+  // events processed by this call.
+  uint64_t Run();
+
+  // Runs all events with time <= `until`, then advances the clock to exactly
+  // `until` (even if idle). Returns events processed. Stop() also ends it.
+  uint64_t RunUntil(SimTime until);
+
+  // Convenience: RunUntil(Now() + duration).
+  uint64_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
+
+  // Requests the current Run*() call to return after the in-flight event.
+  void Stop() { stop_requested_ = true; }
+
+  // True if Stop() ended the last Run*() call.
+  bool stopped() const { return stop_requested_; }
+
+  // Total events processed over the simulation's lifetime.
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  // Pops and runs one event; advances the clock. Precondition: queue not empty.
+  void Step();
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stop_requested_ = false;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_SIM_SIMULATION_H_

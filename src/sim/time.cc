@@ -1,0 +1,28 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+
+namespace newtos {
+
+std::string FormatTime(SimTime t) {
+  const char* sign = "";
+  if (t < 0) {
+    sign = "-";
+    t = -t;
+  }
+  char buf[64];
+  if (t >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", sign, static_cast<double>(t) / kSecond);
+  } else if (t >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fms", sign, static_cast<double>(t) / kMillisecond);
+  } else if (t >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fus", sign, static_cast<double>(t) / kMicrosecond);
+  } else if (t >= kNanosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fns", sign, static_cast<double>(t) / kNanosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%ldps", sign, static_cast<long>(t));
+  }
+  return buf;
+}
+
+}  // namespace newtos

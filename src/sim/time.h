@@ -1,0 +1,71 @@
+// Simulation time: integral picoseconds.
+//
+// All simulated durations in this project are kept as 64-bit signed picosecond
+// counts. Picoseconds are fine-grained enough to represent single cycles of a
+// multi-GHz core exactly (1 cycle @ 4 GHz == 250 ps) and coarse enough that the
+// 64-bit range covers ~106 days of simulated time, far beyond any experiment.
+//
+// Frequencies are carried in kHz as integers so that operating points compare
+// exactly; conversions to cycle periods round to the nearest picosecond.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace newtos {
+
+// A point in simulated time, or a duration, in picoseconds.
+using SimTime = int64_t;
+
+inline constexpr SimTime kPicosecond = 1;
+inline constexpr SimTime kNanosecond = 1000;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+// Frequency of a core or device, in kHz (integral so operating points are
+// exact). 1 GHz == 1'000'000 kHz.
+using FreqKhz = int64_t;
+
+inline constexpr FreqKhz kKhz = 1;
+inline constexpr FreqKhz kMhz = 1000;
+inline constexpr FreqKhz kGhz = 1000 * kMhz;
+
+// Cycle counts are plain 64-bit values.
+using Cycles = int64_t;
+
+// Duration of `cycles` cycles at `freq`, rounded to the nearest picosecond.
+// Precondition: freq > 0.
+constexpr SimTime CyclesToTime(Cycles cycles, FreqKhz freq) {
+  // period_ps = 1e12 / (freq_khz * 1e3) = 1e9 / freq_khz.
+  // Compute cycles * 1e9 / freq with rounding; cycles * 1e9 can overflow for
+  // very large cycle counts, so split into whole seconds and remainder.
+  constexpr int64_t kPsPerKcycleAt1Khz = 1'000'000'000;  // 1e9 ps per cycle at 1 kHz.
+  const int64_t whole = cycles / freq;
+  const int64_t rem = cycles % freq;
+  return whole * kPsPerKcycleAt1Khz + (rem * kPsPerKcycleAt1Khz + freq / 2) / freq;
+}
+
+// Number of whole cycles that elapse in `duration` at `freq` (truncating).
+constexpr Cycles TimeToCycles(SimTime duration, FreqKhz freq) {
+  // cycles = duration_ps * freq_khz / 1e9. Split to avoid overflow.
+  constexpr int64_t kScale = 1'000'000'000;
+  const int64_t whole = duration / kScale;
+  const int64_t rem = duration % kScale;
+  return whole * freq + rem * freq / kScale;
+}
+
+// Converts a duration to (double) seconds, for reporting only.
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / static_cast<double>(kSecond); }
+
+// Converts a frequency to (double) GHz, for reporting only.
+constexpr double ToGhz(FreqKhz f) { return static_cast<double>(f) / static_cast<double>(kGhz); }
+
+// Human-readable rendering, e.g. "1.250us" or "3.2s". For logs and tables.
+std::string FormatTime(SimTime t);
+
+}  // namespace newtos
+
+#endif  // SRC_SIM_TIME_H_

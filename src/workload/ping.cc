@@ -1,0 +1,45 @@
+#include "src/workload/ping.h"
+
+#include <cmath>
+
+namespace newtos {
+
+PingClient::PingClient(PeerHost* peer, const Params& params) : peer_(peer), params_(params) {
+  peer_->SetIcmpHandler([this](const PacketPtr& p) {
+    if (p->icmp.type == kIcmpEchoReply && p->icmp.id == params_.id) {
+      ++received_;
+      rtt_.Record(peer_->sim()->Now() - p->created_at);
+    }
+  });
+}
+
+void PingClient::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  FireNext();
+}
+
+void PingClient::FireNext() {
+  if (!running_ || params_.pings_per_sec <= 0.0) {
+    return;
+  }
+  PacketPtr p = MakePacket();
+  p->ip.proto = IpProto::kIcmp;
+  p->ip.src = peer_->addr();
+  p->ip.dst = params_.target;
+  p->icmp.type = kIcmpEchoRequest;
+  p->icmp.id = params_.id;
+  p->icmp.seq = next_seq_++;
+  p->payload_bytes = params_.payload_bytes;
+  p->created_at = peer_->sim()->Now();
+  peer_->SendPacket(std::move(p));
+  ++sent_;
+
+  const SimTime gap = static_cast<SimTime>(
+      std::llround(static_cast<double>(kSecond) / params_.pings_per_sec));
+  peer_->sim()->Schedule(gap > 0 ? gap : 1, [this] { FireNext(); });
+}
+
+}  // namespace newtos

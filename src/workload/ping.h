@@ -1,0 +1,50 @@
+// Ping: ICMP echo round-trips from the peer into the SUT's IP server.
+//
+// Ping never touches PF, TCP, or the application — the reply is generated
+// at the SUT's IP layer — so its RTT isolates the NIC + driver + IP portion
+// of the pipeline. Sweeping the stack frequency with ping gives the purest
+// per-stage latency picture (Fig. 12).
+
+#ifndef SRC_WORKLOAD_PING_H_
+#define SRC_WORKLOAD_PING_H_
+
+#include <cstdint>
+
+#include "src/metrics/histogram.h"
+#include "src/os/peer_host.h"
+
+namespace newtos {
+
+class PingClient {
+ public:
+  struct Params {
+    Ipv4Addr target = 0;
+    uint32_t payload_bytes = 56;  // classic ping default
+    double pings_per_sec = 1000.0;
+    uint16_t id = 0x1dea;
+  };
+
+  PingClient(PeerHost* peer, const Params& params);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  uint64_t sent() const { return sent_; }
+  uint64_t received() const { return received_; }
+  LatencyHistogram& rtt() { return rtt_; }
+
+ private:
+  void FireNext();
+
+  PeerHost* peer_;
+  Params params_;
+  bool running_ = false;
+  uint16_t next_seq_ = 1;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+  LatencyHistogram rtt_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_WORKLOAD_PING_H_

@@ -1,0 +1,49 @@
+#include "src/workload/udp_flood.h"
+
+#include <cmath>
+
+namespace newtos {
+
+UdpPeerFlood::UdpPeerFlood(PeerHost* peer, const Params& params)
+    : peer_(peer), params_(params), rng_(params.seed) {}
+
+void UdpPeerFlood::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  FireNext();
+}
+
+void UdpPeerFlood::FireNext() {
+  if (!running_ || params_.packets_per_sec <= 0.0) {
+    return;
+  }
+  peer_->udp().Send(kUdpFloodPort, params_.sut, params_.port, params_.payload_bytes, sent_);
+  ++sent_;
+  const double mean_gap_s = 1.0 / params_.packets_per_sec;
+  const double gap_s = params_.poisson ? rng_.Exponential(mean_gap_s) : mean_gap_s;
+  const SimTime gap = static_cast<SimTime>(std::llround(gap_s * static_cast<double>(kSecond)));
+  peer_->sim()->Schedule(gap > 0 ? gap : 1, [this] { FireNext(); });
+}
+
+void UdpSutSink::BindDirect(UdpServer* udp, uint16_t port) {
+  sink_ = std::make_unique<SimChannel<Msg>>(udp->sim(), "udp-sink", 4096);
+  sink_->SetNotify([this] {
+    while (auto m = sink_->Pop()) {
+      if (m->type == MsgType::kEvtData) {
+        ++received_;
+        window_.Add(1, m->value);
+      }
+    }
+  });
+  const uint32_t app_id = udp->RegisterApp(sink_.get());
+  Msg bind;
+  bind.type = MsgType::kSockListen;
+  bind.app = app_id;
+  bind.handle = 1;
+  bind.port = port;
+  udp->app_in()->Push(std::move(bind));
+}
+
+}  // namespace newtos

@@ -1,0 +1,75 @@
+// UDP packet-rate workload: the peer fires datagrams at a configured rate
+// (constant or Poisson); the SUT app counts deliveries. Exercises the
+// connectionless path and provides the offered-load axis for the
+// poll-vs-halt energy experiment (Fig. 7), where precise low-load control
+// matters and TCP's self-clocking would get in the way.
+
+#ifndef SRC_WORKLOAD_UDP_FLOOD_H_
+#define SRC_WORKLOAD_UDP_FLOOD_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/metrics/stats.h"
+#include "src/os/peer_host.h"
+#include "src/os/server.h"
+#include "src/os/udp_server.h"
+#include "src/sim/random.h"
+
+namespace newtos {
+
+inline constexpr uint16_t kUdpFloodPort = 9009;
+
+class UdpPeerFlood {
+ public:
+  struct Params {
+    Ipv4Addr sut = 0;
+    uint16_t port = kUdpFloodPort;
+    uint32_t payload_bytes = 1024;
+    double packets_per_sec = 100'000.0;
+    bool poisson = false;  // false: constant spacing
+    uint64_t seed = 7;
+  };
+
+  UdpPeerFlood(PeerHost* peer, const Params& params);
+  void Start();
+  void Stop() { running_ = false; }
+
+  uint64_t sent() const { return sent_; }
+
+ private:
+  void FireNext();
+
+  PeerHost* peer_;
+  Params params_;
+  Rng rng_;
+  bool running_ = false;
+  uint64_t sent_ = 0;
+};
+
+// SUT-side receiver: binds the port on the UDP server via an app channel.
+// (UDP binding goes through the normal request path so it pays app + server
+// costs like everything else.)
+class UdpSutSink {
+ public:
+  // `app_events` is an AppProcess registered with the UDP server; see
+  // tests/bench for wiring. Simplest use: call BindDirect to register with
+  // the UdpServer without an app process (counts in the server only).
+  UdpSutSink() = default;
+
+  // Registers directly with the UDP server: creates a sink channel, binds
+  // the port, and counts kEvtData messages (drained with zero app cost).
+  void BindDirect(UdpServer* udp, uint16_t port);
+
+  uint64_t received() const { return received_; }
+  RateMeter& window() { return window_; }
+
+ private:
+  std::unique_ptr<SimChannel<Msg>> sink_;
+  RateMeter window_;
+  uint64_t received_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_WORKLOAD_UDP_FLOOD_H_

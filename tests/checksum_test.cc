@@ -1,0 +1,68 @@
+#include "src/net/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace newtos {
+namespace {
+
+TEST(Checksum, KnownVectorRfc1071) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(Checksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(Checksum, ZeroBufferChecksumIsAllOnes) {
+  const std::vector<uint8_t> zeros(20, 0);
+  EXPECT_EQ(Checksum(zeros.data(), zeros.size()), 0xffff);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const uint8_t odd[] = {0x12, 0x34, 0x56};
+  const uint8_t even[] = {0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(Checksum(odd, 3), Checksum(even, 4));
+}
+
+TEST(Checksum, InsertedChecksumValidates) {
+  std::vector<uint8_t> buf = {0x45, 0x00, 0x00, 0x28, 0x12, 0x34, 0x40, 0x00,
+                              0x40, 0x06, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                              0x0a, 0x00, 0x00, 0x02};
+  const uint16_t sum = Checksum(buf.data(), buf.size());
+  buf[10] = static_cast<uint8_t>(sum >> 8);
+  buf[11] = static_cast<uint8_t>(sum & 0xff);
+  EXPECT_TRUE(ChecksumValid(buf.data(), buf.size()));
+}
+
+TEST(Checksum, CorruptionDetected) {
+  std::vector<uint8_t> buf(40);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>(i * 7 + 1);
+  }
+  const uint16_t sum = Checksum(buf.data(), buf.size());
+  buf.push_back(static_cast<uint8_t>(sum >> 8));
+  buf.push_back(static_cast<uint8_t>(sum & 0xff));
+  ASSERT_TRUE(ChecksumValid(buf.data(), buf.size()));
+  buf[5] ^= 0x01;  // flip one bit
+  EXPECT_FALSE(ChecksumValid(buf.data(), buf.size()));
+}
+
+TEST(Checksum, PartialSumsCompose) {
+  std::vector<uint8_t> buf(64);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>(i);
+  }
+  // Whole-buffer checksum equals composing two even-sized partial sums.
+  uint32_t sum = ChecksumPartial(buf.data(), 32);
+  sum = ChecksumPartial(buf.data() + 32, 32, sum);
+  EXPECT_EQ(ChecksumFinish(sum), Checksum(buf.data(), buf.size()));
+}
+
+TEST(Checksum, FinishFoldsCarries) {
+  EXPECT_EQ(ChecksumFinish(0), 0xffff);
+  EXPECT_EQ(ChecksumFinish(0xffff), 0x0000);
+  EXPECT_EQ(ChecksumFinish(0x1ffff), ChecksumFinish(0x10000 + 0xffff));
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,178 @@
+#include "src/net/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/net/packet.h"
+
+namespace newtos {
+namespace {
+
+PacketPtr MakeTcpPacket(uint32_t payload) {
+  PacketPtr p = MakePacket();
+  p->eth.src = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  p->eth.dst = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+  p->ip.proto = IpProto::kTcp;
+  p->ip.src = Ipv4(10, 0, 0, 1);
+  p->ip.dst = Ipv4(10, 0, 0, 2);
+  p->ip.ttl = 63;
+  p->tcp.src_port = 49152;
+  p->tcp.dst_port = 80;
+  p->tcp.seq = 0xdeadbeef;
+  p->tcp.ack = 0x01020304;
+  p->tcp.flags = kTcpAck | kTcpPsh;
+  p->tcp.window = 256 * 1024;
+  p->payload_bytes = payload;
+  return p;
+}
+
+TEST(Codec, TcpRoundTripPreservesHeaders) {
+  PacketPtr p = MakeTcpPacket(777);
+  auto frame = SerializePacket(*p);
+  EXPECT_EQ(frame.size(), p->FrameBytes());
+  auto parsed = ParsePacket(frame);
+  ASSERT_TRUE(parsed.has_value());
+  const Packet& q = parsed->packet;
+  EXPECT_EQ(q.eth.src, p->eth.src);
+  EXPECT_EQ(q.eth.dst, p->eth.dst);
+  EXPECT_EQ(q.ip.src, p->ip.src);
+  EXPECT_EQ(q.ip.dst, p->ip.dst);
+  EXPECT_EQ(q.ip.ttl, p->ip.ttl);
+  EXPECT_EQ(q.ip.proto, IpProto::kTcp);
+  EXPECT_EQ(q.tcp.src_port, p->tcp.src_port);
+  EXPECT_EQ(q.tcp.dst_port, p->tcp.dst_port);
+  EXPECT_EQ(q.tcp.seq, p->tcp.seq);
+  EXPECT_EQ(q.tcp.ack, p->tcp.ack);
+  EXPECT_EQ(q.tcp.flags, p->tcp.flags);
+  EXPECT_EQ(q.tcp.window, p->tcp.window);  // multiple of 256: exact
+  EXPECT_EQ(q.payload_bytes, p->payload_bytes);
+}
+
+TEST(Codec, ChecksumsValidate) {
+  auto frame = SerializePacket(*MakeTcpPacket(1000));
+  auto parsed = ParsePacket(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->ip_checksum_ok);
+  EXPECT_TRUE(parsed->l4_checksum_ok);
+}
+
+TEST(Codec, PayloadCorruptionBreaksL4Checksum) {
+  auto frame = SerializePacket(*MakeTcpPacket(100));
+  frame[frame.size() - 10] ^= 0xff;
+  auto parsed = ParsePacket(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->ip_checksum_ok);
+  EXPECT_FALSE(parsed->l4_checksum_ok);
+}
+
+TEST(Codec, IpHeaderCorruptionBreaksIpChecksum) {
+  auto frame = SerializePacket(*MakeTcpPacket(0));
+  frame[kEthHeaderBytes + 8] ^= 0x01;  // TTL byte
+  auto parsed = ParsePacket(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->ip_checksum_ok);
+}
+
+TEST(Codec, UdpRoundTrip) {
+  PacketPtr p = MakePacket();
+  p->ip.proto = IpProto::kUdp;
+  p->ip.src = Ipv4(192, 168, 1, 1);
+  p->ip.dst = Ipv4(192, 168, 1, 2);
+  p->udp.src_port = 1234;
+  p->udp.dst_port = 5678;
+  p->payload_bytes = 512;
+  auto frame = SerializePacket(*p);
+  auto parsed = ParsePacket(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->packet.ip.proto, IpProto::kUdp);
+  EXPECT_EQ(parsed->packet.udp.src_port, 1234);
+  EXPECT_EQ(parsed->packet.udp.dst_port, 5678);
+  EXPECT_EQ(parsed->packet.payload_bytes, 512u);
+  EXPECT_TRUE(parsed->l4_checksum_ok);
+}
+
+TEST(Codec, SackOptionRoundTrips) {
+  PacketPtr p = MakeTcpPacket(100);
+  p->tcp.n_sack = 2;
+  p->tcp.sack[0] = {1000, 2460};
+  p->tcp.sack[1] = {5000, 6460};
+  auto frame = SerializePacket(*p);
+  EXPECT_EQ(frame.size(), p->FrameBytes());
+  auto parsed = ParsePacket(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->l4_checksum_ok);
+  EXPECT_EQ(parsed->packet.tcp.n_sack, 2);
+  EXPECT_EQ(parsed->packet.tcp.sack[0], (SackBlock{1000, 2460}));
+  EXPECT_EQ(parsed->packet.tcp.sack[1], (SackBlock{5000, 6460}));
+  EXPECT_EQ(parsed->packet.payload_bytes, 100u);
+}
+
+TEST(Codec, SackHeaderSizesArePadded) {
+  TcpHeader h;
+  EXPECT_EQ(h.HeaderBytes(), 20u);
+  h.n_sack = 1;  // 2 + 8 = 10 -> padded to 12 -> 32 bytes total
+  EXPECT_EQ(h.HeaderBytes(), 32u);
+  h.n_sack = 3;  // 2 + 24 = 26 -> padded to 28 -> 48 bytes total
+  EXPECT_EQ(h.HeaderBytes(), 48u);
+}
+
+TEST(Codec, MalformedOptionLengthRejected) {
+  PacketPtr p = MakeTcpPacket(0);
+  p->tcp.n_sack = 1;
+  p->tcp.sack[0] = {1, 2};
+  auto frame = SerializePacket(*p);
+  frame[kEthHeaderBytes + kIpv4HeaderBytes + 21] = 0;  // option length 0
+  EXPECT_FALSE(ParsePacket(frame).has_value());
+}
+
+TEST(Codec, TruncatedFrameRejected) {
+  auto frame = SerializePacket(*MakeTcpPacket(100));
+  frame.resize(kEthHeaderBytes + 10);
+  EXPECT_FALSE(ParsePacket(frame).has_value());
+}
+
+TEST(Codec, NonIpv4EtherTypeRejected) {
+  auto frame = SerializePacket(*MakeTcpPacket(0));
+  frame[12] = 0x86;  // 0x86dd = IPv6
+  frame[13] = 0xdd;
+  EXPECT_FALSE(ParsePacket(frame).has_value());
+}
+
+TEST(Codec, UnknownIpProtoRejected) {
+  auto frame = SerializePacket(*MakeTcpPacket(0));
+  frame[kEthHeaderBytes + 9] = 47;  // GRE
+  EXPECT_FALSE(ParsePacket(frame).has_value());
+}
+
+// Property sweep: round-trip across protocols and payload sizes.
+class CodecRoundTrip
+    : public ::testing::TestWithParam<std::tuple<IpProto, uint32_t>> {};
+
+TEST_P(CodecRoundTrip, PayloadLengthAndChecksumsSurvive) {
+  auto [proto, payload] = GetParam();
+  PacketPtr p = MakePacket();
+  p->ip.proto = proto;
+  p->ip.src = Ipv4(10, 1, 2, 3);
+  p->ip.dst = Ipv4(10, 4, 5, 6);
+  p->tcp.src_port = 1000;
+  p->tcp.dst_port = 2000;
+  p->udp.src_port = 1000;
+  p->udp.dst_port = 2000;
+  p->payload_bytes = payload;
+  auto frame = SerializePacket(*p);
+  auto parsed = ParsePacket(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->packet.payload_bytes, payload);
+  EXPECT_TRUE(parsed->ip_checksum_ok);
+  EXPECT_TRUE(parsed->l4_checksum_ok);
+  EXPECT_EQ(parsed->packet.FrameBytes(), frame.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CodecRoundTrip,
+    ::testing::Combine(::testing::Values(IpProto::kTcp, IpProto::kUdp),
+                       ::testing::Values(0u, 1u, 2u, 63u, 64u, 512u, 1460u, 9000u)));
+
+}  // namespace
+}  // namespace newtos

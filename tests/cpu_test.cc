@@ -1,0 +1,168 @@
+#include "src/hw/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace newtos {
+namespace {
+
+class CpuTest : public ::testing::Test {
+ protected:
+  Simulation sim_;
+  PowerModel pm_;
+  Core core_{&sim_, 0, "cpu0", BigCoreOperatingPoints(), &pm_};
+};
+
+TEST_F(CpuTest, StartsAtTopOperatingPoint) {
+  EXPECT_EQ(core_.frequency(), 4'400'000 * kKhz);  // turbo top of the table
+}
+
+TEST_F(CpuTest, WorkDurationMatchesFrequency) {
+  core_.set_dvfs_transition_latency(0);  // exact-timing test: no relock stall
+  core_.SetFrequency(1'000'000 * kKhz);  // snaps to 800 MHz (table entry)
+  EXPECT_EQ(core_.frequency(), 800'000 * kKhz);
+  SimTime done_at = -1;
+  core_.Execute(800'000, [&] { done_at = sim_.Now(); });  // 1 ms at 800 MHz
+  sim_.Run();
+  EXPECT_EQ(done_at, kMillisecond);
+}
+
+TEST_F(CpuTest, WorkItemsSerializeFifo) {
+  core_.SetFrequency(1'000'000 * kKhz);
+  std::vector<int> order;
+  core_.Execute(1000, [&] { order.push_back(1); });
+  core_.Execute(1000, [&] { order.push_back(2); });
+  core_.Execute(1000, [&] { order.push_back(3); });
+  EXPECT_TRUE(core_.busy());
+  sim_.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(core_.busy());
+}
+
+TEST_F(CpuTest, EstimateMatchesExecution) {
+  core_.SetFrequency(3'600'000 * kKhz);
+  const SimTime est = core_.EstimateCompletion(360'000);
+  SimTime done_at = -1;
+  core_.Execute(360'000, [&] { done_at = sim_.Now(); });
+  sim_.Run();
+  EXPECT_EQ(done_at, est);
+}
+
+TEST_F(CpuTest, SlowerFrequencyTakesProportionallyLonger) {
+  Simulation sim2;
+  Core fast(&sim2, 0, "fast", BigCoreOperatingPoints(), &pm_);
+  Core slow(&sim2, 1, "slow", BigCoreOperatingPoints(), &pm_);
+  fast.set_dvfs_transition_latency(0);
+  slow.set_dvfs_transition_latency(0);
+  fast.SetFrequency(3'600'000 * kKhz);
+  slow.SetFrequency(1'200'000 * kKhz);
+  SimTime t_fast = 0, t_slow = 0;
+  fast.Execute(1'000'000, [&] { t_fast = sim2.Now(); });
+  slow.Execute(1'000'000, [&] { t_slow = sim2.Now(); });
+  sim2.Run();
+  EXPECT_NEAR(static_cast<double>(t_slow) / static_cast<double>(t_fast), 3.0, 0.01);
+}
+
+TEST_F(CpuTest, HaltedIdleAddsWakeLatency) {
+  core_.set_dvfs_transition_latency(0);
+  core_.SetFrequency(1'000'000 * kKhz);
+  core_.SetIdleActivity(CoreActivity::kHalted);
+  core_.set_halt_wake_latency(7 * kMicrosecond);
+  SimTime done_at = -1;
+  core_.Execute(800, [&] { done_at = sim_.Now(); });  // 1 us of work at 800MHz
+  sim_.Run();
+  EXPECT_EQ(done_at, 7 * kMicrosecond + 1 * kMicrosecond);
+}
+
+TEST_F(CpuTest, WakeLatencyNotAppliedWhenBusy) {
+  core_.SetFrequency(1'000'000 * kKhz);  // snaps to 800 MHz
+  core_.SetIdleActivity(CoreActivity::kHalted);
+  core_.set_halt_wake_latency(7 * kMicrosecond);
+  SimTime first = -1, second = -1;
+  core_.Execute(800, [&] { first = sim_.Now(); });
+  core_.Execute(800, [&] { second = sim_.Now(); });  // queued while busy: no extra wake
+  sim_.Run();
+  EXPECT_EQ(second - first, 1 * kMicrosecond);
+}
+
+TEST_F(CpuTest, PollingIdleBurnsFullPowerHaltedDoesNot) {
+  core_.set_dvfs_transition_latency(0);
+  core_.SetFrequency(3'600'000 * kKhz);
+  core_.SetIdleActivity(CoreActivity::kPolling);
+  const double polling = core_.CurrentWatts();
+  core_.SetIdleActivity(CoreActivity::kHalted);
+  const double halted = core_.CurrentWatts();
+  EXPECT_GT(polling, 4.0);
+  EXPECT_LT(halted, 1.0);
+}
+
+TEST_F(CpuTest, EnergyAccumulatesWhilePolling) {
+  core_.SetFrequency(3'600'000 * kKhz);
+  sim_.RunFor(kSecond);
+  const double joules = core_.JoulesAt(sim_.Now());
+  EXPECT_NEAR(joules, core_.CurrentWatts(), 0.01);  // 1 second at constant draw
+}
+
+TEST_F(CpuTest, UtilizationTracksBusyFraction) {
+  core_.SetFrequency(1'000'000 * kKhz);  // 800 MHz
+  const SimTime start = sim_.Now();
+  core_.Execute(400'000, nullptr);  // 0.5 ms of work at 800 MHz
+  sim_.RunFor(kMillisecond);
+  EXPECT_NEAR(core_.UtilizationSince(start, sim_.Now()), 0.5, 0.01);
+}
+
+TEST_F(CpuTest, ResetStatsClearsCounters) {
+  core_.Execute(1000, nullptr);
+  sim_.Run();
+  EXPECT_GT(core_.busy_cycles(), 0);
+  core_.ResetStatsAt(sim_.Now());
+  EXPECT_EQ(core_.busy_cycles(), 0);
+  EXPECT_EQ(core_.busy_time(), 0);
+  EXPECT_EQ(core_.work_items(), 0u);
+  EXPECT_DOUBLE_EQ(core_.JoulesAt(sim_.Now()), 0.0);
+}
+
+TEST_F(CpuTest, FrequencyChangeAppliesToSubsequentWork) {
+  core_.set_dvfs_transition_latency(0);
+  core_.SetFrequency(800'000 * kKhz);
+  SimTime t1 = -1;
+  core_.Execute(800'000, [&] { t1 = sim_.Now(); });  // 1 ms at 800 MHz
+  core_.SetFrequency(3'600'000 * kKhz);              // mid-queue change
+  SimTime t2 = -1;
+  core_.Execute(3'600'000, [&] { t2 = sim_.Now(); });  // 1 ms at 3.6 GHz
+  sim_.Run();
+  EXPECT_EQ(t1, kMillisecond);
+  EXPECT_EQ(t2, 2 * kMillisecond);
+}
+
+TEST_F(CpuTest, DvfsTransitionStallsTheCore) {
+  core_.set_dvfs_transition_latency(10 * kMicrosecond);
+  core_.SetFrequency(1'000'000 * kKhz);  // 4.4 GHz -> 800 MHz: one transition
+  EXPECT_EQ(core_.dvfs_transitions(), 1u);
+  EXPECT_TRUE(core_.busy());  // relocking
+  SimTime done_at = -1;
+  core_.Execute(800, [&] { done_at = sim_.Now(); });  // 1 us at 800 MHz
+  sim_.Run();
+  EXPECT_EQ(done_at, 10 * kMicrosecond + 1 * kMicrosecond);
+}
+
+TEST_F(CpuTest, SettingSameFrequencyIsFree) {
+  core_.SetFrequency(3'600'000 * kKhz);
+  const uint64_t transitions = core_.dvfs_transitions();
+  core_.SetFrequency(3'600'000 * kKhz);  // same OP: no stall, no count
+  EXPECT_EQ(core_.dvfs_transitions(), transitions);
+  EXPECT_EQ(core_.EstimateCompletion(0) > sim_.Now() + 20 * kMicrosecond, false);
+}
+
+TEST_F(CpuTest, ZeroCycleWorkCompletesImmediately) {
+  SimTime at = -1;
+  core_.Execute(0, [&] { at = sim_.Now(); });
+  sim_.Run();
+  EXPECT_EQ(at, 0);
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,110 @@
+#include "src/net/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace newtos {
+namespace {
+
+Packet TcpPacket(Ipv4Addr src, Ipv4Addr dst, uint16_t sport, uint16_t dport) {
+  Packet p;
+  p.ip.proto = IpProto::kTcp;
+  p.ip.src = src;
+  p.ip.dst = dst;
+  p.tcp.src_port = sport;
+  p.tcp.dst_port = dport;
+  return p;
+}
+
+TEST(Filter, EmptyChainUsesDefault) {
+  PacketFilter accept(FilterAction::kAccept);
+  PacketFilter drop(FilterAction::kDrop);
+  const Packet p = TcpPacket(1, 2, 3, 4);
+  EXPECT_EQ(accept.Evaluate(p).action, FilterAction::kAccept);
+  EXPECT_EQ(drop.Evaluate(p).action, FilterAction::kDrop);
+  EXPECT_EQ(accept.Evaluate(p).rules_evaluated, 0);
+}
+
+TEST(Filter, FirstMatchWins) {
+  PacketFilter pf(FilterAction::kAccept);
+  FilterRule drop_all;  // matches everything
+  drop_all.action = FilterAction::kDrop;
+  FilterRule accept_all;
+  accept_all.action = FilterAction::kAccept;
+  pf.Append(drop_all);
+  pf.Append(accept_all);
+  const auto v = pf.Evaluate(TcpPacket(1, 2, 3, 4));
+  EXPECT_EQ(v.action, FilterAction::kDrop);
+  EXPECT_EQ(v.rules_evaluated, 1);
+}
+
+TEST(Filter, ProtoWildcardAndSpecific) {
+  FilterRule tcp_only;
+  tcp_only.proto = IpProto::kTcp;
+  Packet tcp = TcpPacket(1, 2, 3, 4);
+  Packet udp;
+  udp.ip.proto = IpProto::kUdp;
+  EXPECT_TRUE(tcp_only.Matches(tcp));
+  EXPECT_FALSE(tcp_only.Matches(udp));
+  FilterRule any;
+  EXPECT_TRUE(any.Matches(tcp));
+  EXPECT_TRUE(any.Matches(udp));
+}
+
+TEST(Filter, MaskedAddressMatch) {
+  FilterRule subnet;
+  subnet.src_addr = Ipv4(10, 1, 0, 0);
+  subnet.src_mask = 0xffff0000;  // /16
+  EXPECT_TRUE(subnet.Matches(TcpPacket(Ipv4(10, 1, 99, 7), 0, 1, 2)));
+  EXPECT_FALSE(subnet.Matches(TcpPacket(Ipv4(10, 2, 0, 1), 0, 1, 2)));
+}
+
+TEST(Filter, PortMatch) {
+  FilterRule http;
+  http.dst_port = 80;
+  EXPECT_TRUE(http.Matches(TcpPacket(1, 2, 5555, 80)));
+  EXPECT_FALSE(http.Matches(TcpPacket(1, 2, 5555, 443)));
+}
+
+TEST(Filter, UdpPortsUsedForUdpPackets) {
+  FilterRule r;
+  r.dst_port = 53;
+  Packet u;
+  u.ip.proto = IpProto::kUdp;
+  u.udp.dst_port = 53;
+  u.tcp.dst_port = 9999;  // must be ignored for UDP
+  EXPECT_TRUE(r.Matches(u));
+}
+
+TEST(Filter, RulesEvaluatedCountsWalkLength) {
+  PacketFilter pf = MakeSyntheticFilter(10);
+  EXPECT_EQ(pf.size(), 10u);
+  const auto v = pf.Evaluate(TcpPacket(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 1000, 80));
+  EXPECT_EQ(v.action, FilterAction::kAccept);
+  EXPECT_EQ(v.rules_evaluated, 10);  // walks past 9 non-matching to accept-all
+  ASSERT_NE(v.rule, nullptr);
+  EXPECT_EQ(v.rule->label, "accept-all");
+}
+
+TEST(Filter, CountersAccumulate) {
+  PacketFilter pf(FilterAction::kAccept);
+  FilterRule drop_port;
+  drop_port.dst_port = 23;
+  drop_port.action = FilterAction::kDrop;
+  pf.Append(drop_port);
+  pf.Evaluate(TcpPacket(1, 2, 3, 23));
+  pf.Evaluate(TcpPacket(1, 2, 3, 80));
+  pf.Evaluate(TcpPacket(1, 2, 3, 80));
+  EXPECT_EQ(pf.dropped(), 1u);
+  EXPECT_EQ(pf.accepted(), 2u);
+}
+
+TEST(Filter, SyntheticFilterZeroAndOneRule) {
+  PacketFilter zero = MakeSyntheticFilter(0);
+  EXPECT_EQ(zero.size(), 0u);
+  PacketFilter one = MakeSyntheticFilter(1);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.Evaluate(TcpPacket(1, 2, 3, 4)).action, FilterAction::kAccept);
+}
+
+}  // namespace
+}  // namespace newtos

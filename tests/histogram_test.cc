@@ -1,0 +1,114 @@
+#include "src/metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace newtos {
+namespace {
+
+TEST(LatencyHistogram, EmptyReturnsZeroes) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.MeanNs(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleDominatesAllQuantiles) {
+  LatencyHistogram h;
+  h.Record(100 * kMicrosecond);
+  EXPECT_EQ(h.count(), 1u);
+  // Quantiles land in the sample's bucket: within ~3.2% of the true value.
+  EXPECT_NEAR(static_cast<double>(h.P50()), 100.0 * kMicrosecond, 0.04 * 100 * kMicrosecond);
+  EXPECT_EQ(h.P50(), h.P99());
+}
+
+TEST(LatencyHistogram, MinMaxMeanExact) {
+  LatencyHistogram h;
+  h.Record(1 * kMicrosecond);
+  h.Record(3 * kMicrosecond);
+  h.Record(8 * kMicrosecond);
+  EXPECT_EQ(h.min(), 1 * kMicrosecond);
+  EXPECT_EQ(h.max(), 8 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(h.MeanNs(), 4000.0);
+}
+
+TEST(LatencyHistogram, QuantilesOrderedAndBounded) {
+  LatencyHistogram h;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<SimTime>(rng.Exponential(50.0) * kMicrosecond));
+  }
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(0.99));
+  EXPECT_LE(h.Quantile(0.99), h.Quantile(1.0));
+  EXPECT_GE(h.Quantile(0.0), 0);
+}
+
+TEST(LatencyHistogram, QuantileAccuracyWithinBucketError) {
+  // Uniform samples 0..1ms: p50 should be ~0.5ms within bucket resolution.
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(i * kMicrosecond);
+  }
+  EXPECT_NEAR(static_cast<double>(h.P50()), 500.0 * kMicrosecond, 25.0 * kMicrosecond);
+  EXPECT_NEAR(static_cast<double>(h.P99()), 990.0 * kMicrosecond, 40.0 * kMicrosecond);
+}
+
+TEST(LatencyHistogram, HandlesFullRange) {
+  LatencyHistogram h;
+  h.Record(0);
+  h.Record(1);  // 1 ps -> 0 ns bucket
+  h.Record(30 * kSecond);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GE(h.Quantile(1.0), kSecond);
+}
+
+TEST(LatencyHistogram, NegativeClampsToZero) {
+  LatencyHistogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_LE(h.Quantile(0.5), 2 * kNanosecond);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.Record(kMillisecond);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(LatencyHistogram, MergeCombinesDistributions) {
+  LatencyHistogram a, b, all;
+  for (int i = 0; i < 500; ++i) {
+    a.Record(10 * kMicrosecond);
+    all.Record(10 * kMicrosecond);
+    b.Record(1000 * kMicrosecond);
+    all.Record(1000 * kMicrosecond);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_EQ(a.Quantile(0.25), all.Quantile(0.25));
+  EXPECT_EQ(a.Quantile(0.75), all.Quantile(0.75));
+}
+
+TEST(LatencyHistogram, RelativeErrorStaysSmallAcrossMagnitudes) {
+  // Property: a recorded value's bucket-representative is within ~4%.
+  for (SimTime v = 10 * kNanosecond; v < 10 * kSecond; v *= 7) {
+    LatencyHistogram h;
+    h.Record(v);
+    const double rep = static_cast<double>(h.Quantile(0.5));
+    EXPECT_NEAR(rep, static_cast<double>(v), 0.04 * static_cast<double>(v)) << "v=" << v;
+  }
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,55 @@
+#include "src/chan/kernel_ipc.h"
+
+#include <gtest/gtest.h>
+
+namespace newtos {
+namespace {
+
+TEST(KernelIpc, OneWayIncludesTrapSwitchAndCopy) {
+  KernelIpcCosts costs;
+  const Cycles zero_byte = costs.OneWayCycles(0);
+  EXPECT_EQ(zero_byte,
+            2 * costs.trap_cycles + costs.context_switch_cycles + costs.kernel_copy_setup_cycles);
+  // Bytes add the per-byte copy cost.
+  EXPECT_EQ(costs.OneWayCycles(1000), zero_byte + 500);
+}
+
+TEST(KernelIpc, RoundTripIsTwoOneWays) {
+  KernelIpcCosts costs;
+  EXPECT_EQ(costs.RoundTripCycles(64), 2 * costs.OneWayCycles(64));
+}
+
+TEST(KernelIpc, ChannelPathIsMuchCheaper) {
+  KernelIpcCosts kernel;
+  ChannelCostModel chan;
+  for (size_t bytes : {0u, 64u, 256u, 1024u}) {
+    const Cycles k = kernel.OneWayCycles(bytes);
+    const Cycles c = ChannelOneWayCycles(chan, bytes);
+    EXPECT_GT(k, 5 * c) << "bytes=" << bytes
+                        << ": the paper's motivation is a ~10x gap at small sizes";
+  }
+}
+
+TEST(KernelIpc, GapNarrowsWithMessageSize) {
+  // Copies dominate for huge messages, shrinking the relative advantage.
+  KernelIpcCosts kernel;
+  ChannelCostModel chan;
+  const double ratio_small = static_cast<double>(kernel.OneWayCycles(16)) /
+                             static_cast<double>(ChannelOneWayCycles(chan, 16));
+  const double ratio_large = static_cast<double>(kernel.OneWayCycles(64 * 1024)) /
+                             static_cast<double>(ChannelOneWayCycles(chan, 64 * 1024));
+  EXPECT_GT(ratio_small, ratio_large);
+}
+
+TEST(KernelIpc, MonotoneInBytes) {
+  KernelIpcCosts kernel;
+  Cycles prev = -1;
+  for (size_t b = 0; b <= 4096; b += 128) {
+    const Cycles c = kernel.OneWayCycles(b);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+}  // namespace
+}  // namespace newtos

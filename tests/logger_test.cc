@@ -1,0 +1,57 @@
+#include "src/sim/logger.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace newtos {
+namespace {
+
+class LoggerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::SetSink(&out_);
+    Logger::SetLevel(LogLevel::kTrace);
+  }
+  void TearDown() override {
+    Logger::SetSink(nullptr);
+    Logger::SetLevel(LogLevel::kWarn);
+  }
+  std::ostringstream out_;
+};
+
+TEST_F(LoggerTest, EmitsTimestampedLine) {
+  Logger::Log(LogLevel::kInfo, 2 * kMicrosecond, "tcp", "hello");
+  EXPECT_NE(out_.str().find("2.000us"), std::string::npos);
+  EXPECT_NE(out_.str().find("tcp: hello"), std::string::npos);
+  EXPECT_NE(out_.str().find("INFO"), std::string::npos);
+}
+
+TEST_F(LoggerTest, LevelFiltersLowerMessages) {
+  Logger::SetLevel(LogLevel::kError);
+  Logger::Log(LogLevel::kDebug, 0, "x", "dropped");
+  EXPECT_TRUE(out_.str().empty());
+  Logger::Log(LogLevel::kError, 0, "x", "kept");
+  EXPECT_NE(out_.str().find("kept"), std::string::npos);
+}
+
+TEST_F(LoggerTest, MacroShortCircuitsBelowLevel) {
+  Logger::SetLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  NEWTOS_LOG(kDebug, 0, "x", "value=" << expensive());
+  EXPECT_EQ(evaluations, 0);
+  NEWTOS_LOG(kError, 0, "x", "value=" << expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggerTest, StreamExpressionFormats) {
+  NEWTOS_LOG(kInfo, kMillisecond, "core", "freq=" << 3.6 << "GHz util=" << 42 << "%");
+  EXPECT_NE(out_.str().find("freq=3.6GHz util=42%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,80 @@
+#include "src/hw/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulation.h"
+
+namespace newtos {
+namespace {
+
+TEST(Machine, ConstructsRequestedTopology) {
+  Simulation sim;
+  Machine::Params p;
+  p.num_cores = 4;
+  Machine m(&sim, "m", p);
+  EXPECT_EQ(m.num_cores(), 4);
+  EXPECT_NE(m.nic(), nullptr);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.core(i)->id(), i);
+  }
+}
+
+TEST(Machine, CoresStartAtConfiguredBaseClock) {
+  Simulation sim;
+  Machine::Params p;
+  p.initial_freq = 2'800'000 * kKhz;
+  Machine m(&sim, "m", p);
+  for (int i = 0; i < m.num_cores(); ++i) {
+    EXPECT_EQ(m.core(i)->frequency(), 2'800'000 * kKhz);
+  }
+}
+
+TEST(Machine, PackageWattsIncludesUncoreAndAllCores) {
+  Simulation sim;
+  Machine m(&sim, "m", {});
+  double sum = m.power_model().uncore_watts();
+  for (int i = 0; i < m.num_cores(); ++i) {
+    sum += m.core(i)->CurrentWatts();
+  }
+  EXPECT_DOUBLE_EQ(m.PackageWatts(), sum);
+}
+
+TEST(Machine, PackageEnergyIntegrates) {
+  Simulation sim;
+  Machine m(&sim, "m", {});
+  const double watts = m.PackageWatts();
+  sim.RunFor(kSecond);
+  EXPECT_NEAR(m.PackageJoulesAt(sim.Now()), watts, 0.5);
+}
+
+TEST(Machine, ResetStatsZeroesEnergy) {
+  Simulation sim;
+  Machine m(&sim, "m", {});
+  sim.RunFor(kSecond);
+  m.ResetStatsAt(sim.Now());
+  EXPECT_NEAR(m.PackageJoulesAt(sim.Now()), 0.0, 1e-9);
+  sim.RunFor(kSecond);
+  EXPECT_GT(m.PackageJoulesAt(sim.Now()), 1.0);
+}
+
+TEST(Machine, SlowingACoreReducesPackagePower) {
+  Simulation sim;
+  Machine m(&sim, "m", {});
+  m.core(0)->SetFrequency(3'600'000 * kKhz);
+  const double before = m.PackageWatts();
+  m.core(0)->SetFrequency(800'000 * kKhz);
+  EXPECT_LT(m.PackageWatts(), before);
+}
+
+TEST(Machine, WimpyCoreTableSupported) {
+  Simulation sim;
+  Machine::Params p;
+  p.core_table = WimpyCoreOperatingPoints();
+  p.initial_freq = 1'600'000 * kKhz;
+  Machine m(&sim, "m", p);
+  EXPECT_EQ(m.core(0)->frequency(), 1'600'000 * kKhz);
+  EXPECT_EQ(m.core(0)->table().size(), WimpyCoreOperatingPoints().size());
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "src/metrics/stats.h"
+#include "src/metrics/table.h"
+
+namespace newtos {
+namespace {
+
+TEST(StreamingStats, BasicMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+}
+
+TEST(StreamingStats, MergeMatchesCombinedStream) {
+  StreamingStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a, empty;
+  a.Add(5.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(RateMeter, RatesAgainstWindow) {
+  RateMeter m(0);
+  m.Add(100, 1000);
+  EXPECT_DOUBLE_EQ(m.EventsPerSec(kSecond), 100.0);
+  EXPECT_DOUBLE_EQ(m.BitsPerSec(kSecond), 8000.0);
+  EXPECT_DOUBLE_EQ(m.GbitsPerSec(kSecond), 8000.0 / 1e9);
+}
+
+TEST(RateMeter, ResetRestartsWindow) {
+  RateMeter m(0);
+  m.Add(100, 0);
+  m.Reset(kSecond);
+  EXPECT_EQ(m.events(), 0u);
+  m.Add(50, 0);
+  EXPECT_DOUBLE_EQ(m.EventsPerSec(2 * kSecond), 50.0);
+}
+
+TEST(RateMeter, ZeroWindowIsZeroRate) {
+  RateMeter m(kSecond);
+  m.Add(10, 10);
+  EXPECT_DOUBLE_EQ(m.EventsPerSec(kSecond), 0.0);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "22"});
+  std::ostringstream out;
+  t.Print(out, "demo");
+  const std::string s = out.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Header row then rule then 2 data rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 5);
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"a", "b"});
+  t.AddRow({"plain", "has,comma"});
+  t.AddRow({"has\"quote", "x"});
+  std::ostringstream out;
+  t.WriteCsv(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadWithEmptyCells) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream out;
+  t.WriteCsv(out);
+  EXPECT_NE(out.str().find("1,,"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Int(-42), "-42");
+  EXPECT_EQ(Table::Pct(0.1234, 1), "12.3%");
+}
+
+TEST(Table, WriteCsvFileRoundTrips) {
+  Table t({"h"});
+  t.AddRow({"v"});
+  const std::string path = ::testing::TempDir() + "/newtos_table_test.csv";
+  ASSERT_TRUE(t.WriteCsvFile(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "h");
+  std::getline(f, line);
+  EXPECT_EQ(line, "v");
+}
+
+}  // namespace
+}  // namespace newtos

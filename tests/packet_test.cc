@@ -1,0 +1,90 @@
+#include "src/net/packet.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace newtos {
+namespace {
+
+TEST(Packet, Ipv4Formatting) {
+  EXPECT_EQ(Ipv4ToString(Ipv4(10, 0, 0, 1)), "10.0.0.1");
+  EXPECT_EQ(Ipv4ToString(Ipv4(255, 255, 255, 255)), "255.255.255.255");
+  EXPECT_EQ(Ipv4ToString(0), "0.0.0.0");
+}
+
+TEST(Packet, Ipv4ConstexprPacking) {
+  static_assert(Ipv4(1, 2, 3, 4) == 0x01020304u);
+  EXPECT_EQ(Ipv4(192, 168, 0, 1), 0xc0a80001u);
+}
+
+TEST(Packet, MakePacketAssignsUniqueIds) {
+  std::unordered_set<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.insert(MakePacket()->id);
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(Packet, FrameBytesTcpVsUdp) {
+  Packet t;
+  t.ip.proto = IpProto::kTcp;
+  t.payload_bytes = 100;
+  EXPECT_EQ(t.FrameBytes(), kEthHeaderBytes + kIpv4HeaderBytes + kTcpHeaderBytes + 100);
+  Packet u;
+  u.ip.proto = IpProto::kUdp;
+  u.payload_bytes = 100;
+  EXPECT_EQ(u.FrameBytes(), kEthHeaderBytes + kIpv4HeaderBytes + kUdpHeaderBytes + 100);
+}
+
+TEST(Packet, FlowKeyReversal) {
+  const FlowKey k{Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 10, 20};
+  const FlowKey r = k.Reversed();
+  EXPECT_EQ(r.src_ip, k.dst_ip);
+  EXPECT_EQ(r.dst_ip, k.src_ip);
+  EXPECT_EQ(r.src_port, k.dst_port);
+  EXPECT_EQ(r.dst_port, k.src_port);
+  EXPECT_EQ(r.Reversed(), k);
+}
+
+TEST(Packet, FlowKeyHashDistinguishesDirections) {
+  const FlowKey k{Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 10, 20};
+  EXPECT_NE(FlowKeyHash{}(k), FlowKeyHash{}(k.Reversed()));
+}
+
+TEST(Packet, PacketFlowKeyUsesRightPorts) {
+  Packet t;
+  t.ip.proto = IpProto::kTcp;
+  t.ip.src = 1;
+  t.ip.dst = 2;
+  t.tcp.src_port = 7;
+  t.tcp.dst_port = 8;
+  t.udp.src_port = 9;
+  t.udp.dst_port = 10;
+  EXPECT_EQ(PacketFlowKey(t).src_port, 7);
+  t.ip.proto = IpProto::kUdp;
+  EXPECT_EQ(PacketFlowKey(t).src_port, 9);
+}
+
+TEST(Packet, ToStringRendersTcpFlags) {
+  Packet p;
+  p.ip.proto = IpProto::kTcp;
+  p.ip.src = Ipv4(10, 0, 0, 1);
+  p.ip.dst = Ipv4(10, 0, 0, 2);
+  p.tcp.flags = kTcpSyn | kTcpAck;
+  const std::string s = p.ToString();
+  EXPECT_NE(s.find("SA"), std::string::npos);
+  EXPECT_NE(s.find("10.0.0.1"), std::string::npos);
+}
+
+TEST(Packet, TcpHeaderFlagHelpers) {
+  TcpHeader h;
+  h.flags = kTcpSyn | kTcpAck;
+  EXPECT_TRUE(h.syn());
+  EXPECT_TRUE(h.ack_flag());
+  EXPECT_FALSE(h.fin());
+  EXPECT_FALSE(h.rst());
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,123 @@
+// ICMP echo (ping) tests: codec, filter interaction, end-to-end RTT.
+
+#include "src/workload/ping.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/testbed.h"
+#include "src/net/codec.h"
+#include "src/net/filter.h"
+#include "src/workload/iperf.h"
+
+namespace newtos {
+namespace {
+
+TEST(Icmp, CodecRoundTripsEcho) {
+  PacketPtr p = MakePacket();
+  p->ip.proto = IpProto::kIcmp;
+  p->ip.src = Ipv4(10, 0, 0, 2);
+  p->ip.dst = Ipv4(10, 0, 0, 1);
+  p->icmp.type = kIcmpEchoRequest;
+  p->icmp.id = 0xbeef;
+  p->icmp.seq = 42;
+  p->payload_bytes = 56;
+  auto frame = SerializePacket(*p);
+  EXPECT_EQ(frame.size(), p->FrameBytes());
+  auto parsed = ParsePacket(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->ip_checksum_ok);
+  EXPECT_TRUE(parsed->l4_checksum_ok);
+  EXPECT_EQ(parsed->packet.ip.proto, IpProto::kIcmp);
+  EXPECT_EQ(parsed->packet.icmp.type, kIcmpEchoRequest);
+  EXPECT_EQ(parsed->packet.icmp.id, 0xbeef);
+  EXPECT_EQ(parsed->packet.icmp.seq, 42);
+  EXPECT_EQ(parsed->packet.payload_bytes, 56u);
+}
+
+TEST(Icmp, CorruptionBreaksIcmpChecksum) {
+  PacketPtr p = MakePacket();
+  p->ip.proto = IpProto::kIcmp;
+  p->payload_bytes = 32;
+  auto frame = SerializePacket(*p);
+  frame[frame.size() - 1] ^= 0xff;
+  auto parsed = ParsePacket(frame);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->l4_checksum_ok);
+}
+
+TEST(Icmp, PortFilterRulesDoNotMatchIcmp) {
+  FilterRule port_rule;
+  port_rule.dst_port = 80;
+  Packet icmp;
+  icmp.ip.proto = IpProto::kIcmp;
+  EXPECT_FALSE(port_rule.Matches(icmp));
+  FilterRule any;
+  EXPECT_TRUE(any.Matches(icmp));
+}
+
+TEST(Ping, EchoRepliesComeBackWithMatchingIdAndSeq) {
+  Testbed tb;
+  PingClient::Params pp;
+  pp.target = tb.sut_addr();
+  pp.pings_per_sec = 1000;
+  PingClient ping(&tb.peer(), pp);
+  ping.Start();
+  tb.sim().RunFor(100 * kMillisecond);
+  ping.Stop();
+  EXPECT_GE(ping.sent(), 99u);
+  // Every request answered (modulo the last in flight).
+  EXPECT_GE(ping.received(), ping.sent() - 2);
+  EXPECT_EQ(tb.stack()->ip()->icmp_echoes_answered(), ping.received());
+  EXPECT_GT(ping.rtt().P50(), 10 * kMicrosecond);
+  EXPECT_LT(ping.rtt().P50(), 100 * kMicrosecond);
+}
+
+TEST(Ping, RttGrowsWhenDriverAndIpSlowDown) {
+  auto rtt = [](FreqKhz f) {
+    Testbed tb;
+    tb.machine().core(1)->SetFrequency(f);
+    tb.machine().core(2)->SetFrequency(f);
+    PingClient::Params pp;
+    pp.target = tb.sut_addr();
+    pp.pings_per_sec = 5000;
+    PingClient ping(&tb.peer(), pp);
+    ping.Start();
+    tb.sim().RunFor(100 * kMillisecond);
+    return ping.rtt().P50();
+  };
+  EXPECT_LT(rtt(3'600'000 * kKhz), rtt(600'000 * kKhz));
+}
+
+TEST(Ping, RepliesKeepFlowingDuringBulkLoad) {
+  Testbed tb;
+  SocketApi* api = tb.stack()->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params sp;
+  sp.dst = tb.peer_addr();
+  IperfSender sender(api, sp);
+  IperfPeerSink sink(&tb.peer());
+  sender.Start();
+
+  PingClient::Params pp;
+  pp.target = tb.sut_addr();
+  pp.pings_per_sec = 1000;
+  PingClient ping(&tb.peer(), pp);
+  ping.Start();
+
+  tb.sim().RunFor(200 * kMillisecond);
+  EXPECT_GT(sink.total_bytes(), 0u);
+  EXPECT_GE(ping.received(), ping.sent() * 9 / 10);
+}
+
+TEST(Ping, EchoToWrongAddressIsDropped) {
+  Testbed tb;
+  PingClient::Params pp;
+  pp.target = Ipv4(10, 99, 99, 99);  // nobody home
+  PingClient ping(&tb.peer(), pp);
+  ping.Start();
+  tb.sim().RunFor(50 * kMillisecond);
+  EXPECT_GT(ping.sent(), 0u);
+  EXPECT_EQ(ping.received(), 0u);
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,94 @@
+#include "src/core/poll_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/testbed.h"
+#include "src/workload/udp_flood.h"
+
+namespace newtos {
+namespace {
+
+TEST(PollPolicy, PollAlwaysKeepsCoresSpinning) {
+  Testbed tb;
+  PollPolicy policy(&tb.sim(), PollMode::kPollAlways);
+  policy.Manage(tb.machine().core(1), {tb.stack()->driver()});
+  tb.sim().RunFor(50 * kMillisecond);
+  EXPECT_EQ(tb.machine().core(1)->idle_activity(), CoreActivity::kPolling);
+  EXPECT_EQ(policy.halts(), 0u);
+}
+
+TEST(PollPolicy, HaltWhenIdleParksIdleCore) {
+  Testbed tb;
+  PollPolicy policy(&tb.sim(), PollMode::kHaltWhenIdle, 5 * kMicrosecond);
+  policy.Manage(tb.machine().core(1), {tb.stack()->driver()});
+  tb.sim().RunFor(kMillisecond);  // no traffic
+  EXPECT_EQ(tb.machine().core(1)->idle_activity(), CoreActivity::kHalted);
+  EXPECT_EQ(policy.halts(), 1u);
+}
+
+TEST(PollPolicy, TrafficWakesAHaltedCore) {
+  Testbed tb;
+  PollPolicy policy(&tb.sim(), PollMode::kHaltWhenIdle, 5 * kMicrosecond);
+  policy.Manage(tb.machine().core(1), {tb.stack()->driver()});
+  policy.Manage(tb.machine().core(2), {tb.stack()->ip(), tb.stack()->pf()});
+  policy.Manage(tb.machine().core(3), {tb.stack()->tcp(), tb.stack()->udp()});
+
+  UdpSutSink sink;
+  sink.BindDirect(tb.stack()->udp(), kUdpFloodPort);
+  tb.sim().RunFor(kMillisecond);
+  ASSERT_EQ(tb.machine().core(1)->idle_activity(), CoreActivity::kHalted);
+
+  UdpPeerFlood::Params fp;
+  fp.sut = tb.sut_addr();
+  fp.packets_per_sec = 1000;
+  UdpPeerFlood flood(&tb.peer(), fp);
+  flood.Start();
+  tb.sim().RunFor(100 * kMillisecond);
+
+  EXPECT_GT(sink.received(), 90u);  // packets flow despite halting
+  EXPECT_GT(policy.halts(), 1u);    // core re-halts between packets
+}
+
+TEST(PollPolicy, HaltingSavesEnergyAtLowLoad) {
+  auto joules = [](PollMode mode) {
+    Testbed tb;
+    PollPolicy policy(&tb.sim(), mode, 5 * kMicrosecond);
+    policy.Manage(tb.machine().core(1), {tb.stack()->driver()});
+    policy.Manage(tb.machine().core(2), {tb.stack()->ip(), tb.stack()->pf()});
+    policy.Manage(tb.machine().core(3), {tb.stack()->tcp(), tb.stack()->udp()});
+    UdpSutSink sink;
+    sink.BindDirect(tb.stack()->udp(), kUdpFloodPort);
+    UdpPeerFlood::Params fp;
+    fp.sut = tb.sut_addr();
+    fp.packets_per_sec = 5000;  // light load
+    UdpPeerFlood flood(&tb.peer(), fp);
+    flood.Start();
+    tb.machine().ResetStatsAt(tb.sim().Now());
+    tb.sim().RunFor(200 * kMillisecond);
+    return tb.machine().PackageJoulesAt(tb.sim().Now());
+  };
+  const double polling = joules(PollMode::kPollAlways);
+  const double halting = joules(PollMode::kHaltWhenIdle);
+  EXPECT_LT(halting, 0.6 * polling)
+      << "halting must cut energy at light load: " << halting << " vs " << polling << " J";
+}
+
+TEST(PollPolicy, BusyServersCancelPendingHalt) {
+  Testbed tb;
+  PollPolicy policy(&tb.sim(), PollMode::kHaltWhenIdle, 100 * kMillisecond);  // long grace
+  policy.Manage(tb.machine().core(3), {tb.stack()->tcp(), tb.stack()->udp()});
+
+  UdpSutSink sink;
+  sink.BindDirect(tb.stack()->udp(), kUdpFloodPort);
+  UdpPeerFlood::Params fp;
+  fp.sut = tb.sut_addr();
+  fp.packets_per_sec = 100'000;  // steady traffic, gaps far below grace period
+  UdpPeerFlood flood(&tb.peer(), fp);
+  flood.Start();
+  tb.sim().RunFor(300 * kMillisecond);
+  EXPECT_EQ(policy.halts(), 0u);
+  EXPECT_EQ(tb.machine().core(3)->idle_activity(), CoreActivity::kPolling);
+}
+
+}  // namespace
+}  // namespace newtos

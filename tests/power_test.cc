@@ -1,0 +1,91 @@
+#include "src/hw/power.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/operating_point.h"
+
+namespace newtos {
+namespace {
+
+TEST(PowerModel, BusyEqualsPollingAndExceedsHalted) {
+  PowerModel pm;
+  const OperatingPoint op{3'600'000 * kKhz, 1.25};
+  const double busy = pm.CoreWatts(op, CoreActivity::kBusy);
+  const double poll = pm.CoreWatts(op, CoreActivity::kPolling);
+  const double halt = pm.CoreWatts(op, CoreActivity::kHalted);
+  EXPECT_DOUBLE_EQ(busy, poll);  // spinning draws full dynamic power
+  EXPECT_LT(halt, busy / 4.0);
+}
+
+TEST(PowerModel, PowerGrowsWithFrequencyAlongTheTable) {
+  PowerModel pm;
+  const auto table = BigCoreOperatingPoints();
+  double prev = 1e9;
+  for (const OperatingPoint& op : table) {  // descending frequency
+    const double w = pm.PeakWatts(op);
+    EXPECT_LT(w, prev) << "f=" << ToGhz(op.freq);
+    prev = w;
+  }
+}
+
+TEST(PowerModel, VoltageScalingIsSuperlinear) {
+  // Halving frequency (with its lower voltage) must cut dynamic power by
+  // far more than half — the physics behind the whole paper.
+  PowerModel pm;
+  const auto table = BigCoreOperatingPoints();
+  const OperatingPoint& fast = PickOperatingPoint(table, 3'600'000 * kKhz);
+  const OperatingPoint& half = PickOperatingPoint(table, 1'600'000 * kKhz);
+  const double dyn_fast = pm.PeakWatts(fast) - pm.params().static_watts;
+  const double dyn_half = pm.PeakWatts(half) - pm.params().static_watts;
+  EXPECT_LT(dyn_half, 0.4 * dyn_fast);
+}
+
+TEST(PowerModel, WimpyCoreCheaperThanBigAtSameFrequency) {
+  PowerModel pm;
+  const auto big = BigCoreOperatingPoints();
+  const auto wimpy = WimpyCoreOperatingPoints();
+  const double big_w = pm.PeakWatts(PickOperatingPoint(big, 1'600'000 * kKhz));
+  const double wimpy_w = pm.PeakWatts(PickOperatingPoint(wimpy, 1'600'000 * kKhz));
+  EXPECT_LE(wimpy_w, big_w);
+}
+
+TEST(PickOperatingPoint, SnapsDownward) {
+  const auto table = BigCoreOperatingPoints();
+  EXPECT_EQ(PickOperatingPoint(table, 3'700'000 * kKhz).freq, 3'600'000 * kKhz);
+  EXPECT_EQ(PickOperatingPoint(table, 3'600'000 * kKhz).freq, 3'600'000 * kKhz);
+  EXPECT_EQ(PickOperatingPoint(table, 3'599'999 * kKhz).freq, 3'200'000 * kKhz);
+  EXPECT_EQ(PickOperatingPoint(table, 1 * kKhz).freq, table.back().freq);
+}
+
+TEST(EnergyMeter, IntegratesPiecewiseConstantPower) {
+  EnergyMeter m(0);
+  m.SetPower(10.0, 0);
+  EXPECT_DOUBLE_EQ(m.JoulesAt(kSecond), 10.0);
+  m.SetPower(2.0, kSecond);
+  EXPECT_DOUBLE_EQ(m.JoulesAt(3 * kSecond), 10.0 + 4.0);
+}
+
+TEST(EnergyMeter, RepeatedSetAtSameInstant) {
+  EnergyMeter m(0);
+  m.SetPower(5.0, 0);
+  m.SetPower(7.0, 0);  // overrides before any time passes
+  EXPECT_DOUBLE_EQ(m.JoulesAt(kSecond), 7.0);
+}
+
+TEST(EnergyMeter, ResetDropsHistoryKeepsLevel) {
+  EnergyMeter m(0);
+  m.SetPower(10.0, 0);
+  m.ResetAt(kSecond);
+  EXPECT_DOUBLE_EQ(m.JoulesAt(kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(m.JoulesAt(2 * kSecond), 10.0);
+  EXPECT_DOUBLE_EQ(m.current_watts(), 10.0);
+}
+
+TEST(EnergyMeter, SubSecondResolution) {
+  EnergyMeter m(0);
+  m.SetPower(8.0, 0);
+  EXPECT_NEAR(m.JoulesAt(250 * kMillisecond), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,147 @@
+// Cross-cutting system properties: the qualitative shapes the paper's
+// claims rest on, asserted as invariants rather than point values.
+
+#include <gtest/gtest.h>
+
+#include "src/core/steering.h"
+#include "src/core/testbed.h"
+#include "src/net/packet.h"
+#include "src/sim/random.h"
+#include "src/workload/iperf.h"
+
+namespace newtos {
+namespace {
+
+double GoodputAt(FreqKhz stack_freq) {
+  Testbed tb;
+  DedicatedSlowPlan(*tb.stack(), stack_freq, 3'600'000 * kKhz).Apply(tb.machine());
+  SocketApi* api = tb.stack()->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params sp;
+  sp.dst = tb.peer_addr();
+  IperfSender sender(api, sp);
+  IperfPeerSink sink(&tb.peer());
+  sender.Start();
+  tb.sim().RunFor(150 * kMillisecond);
+  sink.window().Reset(tb.sim().Now());
+  tb.sim().RunFor(150 * kMillisecond);
+  return sink.window().GbitsPerSec(tb.sim().Now());
+}
+
+TEST(Shapes, GoodputNeverImprovesWhenTheStackSlows) {
+  // The Fig. 2 monotonicity property, on three well-separated points.
+  const double fast = GoodputAt(3'600'000 * kKhz);
+  const double mid = GoodputAt(1'600'000 * kKhz);
+  const double slow = GoodputAt(800'000 * kKhz);
+  EXPECT_GE(fast * 1.005, mid);  // tiny tolerance for measurement windows
+  EXPECT_GT(mid, slow);
+  EXPECT_GT(slow, 1.0);
+}
+
+TEST(Shapes, PackagePowerFallsMonotonicallyWithStackFrequency) {
+  auto watts = [](FreqKhz f) {
+    Testbed tb;
+    DedicatedSlowPlan(*tb.stack(), f, 3'600'000 * kKhz).Apply(tb.machine());
+    tb.sim().RunFor(10 * kMillisecond);
+    return tb.machine().PackageWatts();
+  };
+  double prev = 1e9;
+  for (FreqKhz f : {3'600'000 * kKhz, 2'800'000 * kKhz, 2'000'000 * kKhz, 1'200'000 * kKhz,
+                    600'000 * kKhz}) {
+    const double w = watts(f);
+    EXPECT_LT(w, prev) << ToGhz(f);
+    prev = w;
+  }
+}
+
+TEST(Properties, SymmetricFlowHashIsDirectionInvariant) {
+  Rng rng(4242);
+  for (int i = 0; i < 10000; ++i) {
+    FlowKey k;
+    k.src_ip = static_cast<Ipv4Addr>(rng.Next());
+    k.dst_ip = static_cast<Ipv4Addr>(rng.Next());
+    k.src_port = static_cast<uint16_t>(rng.Next());
+    k.dst_port = static_cast<uint16_t>(rng.Next());
+    ASSERT_EQ(SymmetricFlowHash(k), SymmetricFlowHash(k.Reversed()));
+  }
+}
+
+TEST(Properties, SymmetricFlowHashSpreadsFlows) {
+  // Sharding needs reasonable balance: for many ephemeral-port flows to one
+  // service, every shard of 3 should get a fair share.
+  int counts[3] = {0, 0, 0};
+  for (uint16_t port = 49152; port < 49152 + 3000; ++port) {
+    const FlowKey k{Ipv4(10, 0, 0, 2), Ipv4(10, 0, 0, 1), port, 80};
+    counts[SymmetricFlowHash(k) % 3]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 800);   // perfect would be 1000
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Properties, PackageEnergyIsSumOfCoresPlusUncore) {
+  Testbed tb;
+  tb.sim().RunFor(100 * kMillisecond);
+  const SimTime now = tb.sim().Now();
+  double cores = 0.0;
+  for (int i = 0; i < tb.machine().num_cores(); ++i) {
+    cores += tb.machine().core(i)->JoulesAt(now);
+  }
+  const double uncore = tb.machine().power_model().uncore_watts() * ToSeconds(now);
+  EXPECT_NEAR(tb.machine().PackageJoulesAt(now), cores + uncore, 1e-6);
+}
+
+TEST(Properties, StackConservesTcpSegments) {
+  // Every segment the driver hands up either reaches the TCP server or is
+  // dropped at an accounted place (PF drop, channel overflow, non-local).
+  Testbed tb;
+  SocketApi* api = tb.stack()->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params sp;
+  sp.dst = tb.peer_addr();
+  IperfSender sender(api, sp);
+  IperfPeerSink sink(&tb.peer());
+  sender.Start();
+  tb.sim().RunFor(100 * kMillisecond);
+
+  const uint64_t forwarded_up = tb.stack()->ip()->rx_forwarded();
+  const uint64_t pf_out = tb.stack()->pf()->accepted() + tb.stack()->pf()->dropped();
+  const uint64_t pf_in_queue = tb.stack()->pf()->rx_in()->size();
+  EXPECT_LE(pf_out + pf_in_queue, forwarded_up);
+  EXPECT_GE(pf_out + pf_in_queue + 64, forwarded_up);  // slack: in-flight batch
+}
+
+TEST(Properties, TwoIdenticalTestbedsStayInLockstep) {
+  auto fingerprint = [] {
+    Testbed tb;
+    SocketApi* api = tb.stack()->CreateApp("iperf", tb.machine().core(0));
+    IperfSender::Params sp;
+    sp.dst = tb.peer_addr();
+    IperfSender sender(api, sp);
+    IperfPeerSink sink(&tb.peer());
+    sender.Start();
+    tb.sim().RunFor(123 * kMillisecond);
+    return std::make_tuple(tb.sim().events_processed(), sink.total_bytes(),
+                           tb.machine().nic()->stats().tx_packets,
+                           tb.machine().core(3)->busy_cycles());
+  };
+  EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+TEST(Steering, WimpyStackPlanBindsToLittleCores) {
+  TestbedOptions opt;
+  opt.machine = BigLittleParams(2, 3);
+  Testbed tb(opt);
+  WimpyStackPlan(*tb.stack(), 1'200'000 * kKhz, 3'600'000 * kKhz).Apply(tb.machine());
+  EXPECT_EQ(tb.stack()->driver()->core()->id(), 2);
+  EXPECT_EQ(tb.stack()->tcp()->core()->id(), 4);
+  EXPECT_TRUE(tb.machine().IsHeterogeneousCore(2));
+  EXPECT_FALSE(tb.machine().IsHeterogeneousCore(0));
+  // Little cores snapped to their own table's 1.2 GHz point.
+  EXPECT_EQ(tb.machine().core(4)->frequency(), 1'200'000 * kKhz);
+  // Big cores cannot be asked for little-core voltages and vice versa: the
+  // big core at 3.6 GHz draws more than the little one at 1.2.
+  EXPECT_GT(tb.machine().core(0)->CurrentWatts(), tb.machine().core(4)->CurrentWatts());
+}
+
+}  // namespace
+}  // namespace newtos

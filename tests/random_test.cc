@@ -1,0 +1,146 @@
+#include "src/sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace newtos {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBoundsAndHitsThem) {
+  Rng r(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = r.UniformInt(3, 9);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // every value in [3,9] appears
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng r(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(r.UniformInt(42, 42), 42);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRateApproximatesP) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += r.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.Exponential(5.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng r(19);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.BoundedPareto(1.0, 1000.0, 1.2);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, 1000.0 + 1e-6);
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailed) {
+  // Mean well above the median for alpha close to 1.
+  Rng r(23);
+  std::vector<double> xs;
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(r.BoundedPareto(1.0, 10000.0, 1.1));
+    sum += xs.back();
+  }
+  std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+  const double median = xs[xs.size() / 2];
+  EXPECT_GT(sum / static_cast<double>(xs.size()), 2.0 * median);
+}
+
+TEST(Rng, DiscretePicksProportionally) {
+  Rng r(29);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    counts[r.Discrete(w)]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // Child stream differs from the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRealRange) {
+  Rng r(37);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.Uniform(-2.5, 7.5);
+    ASSERT_GE(x, -2.5);
+    ASSERT_LT(x, 7.5);
+  }
+}
+
+}  // namespace
+}  // namespace newtos

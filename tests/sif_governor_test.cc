@@ -1,0 +1,108 @@
+// SifGovernor closed-loop tests: the controller walks idle system cores
+// down and converts the headroom into application turbo.
+
+#include "src/core/sif_governor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/testbed.h"
+#include "src/workload/iperf.h"
+
+namespace newtos {
+namespace {
+
+TEST(SifGovernor, IdleSystemCoresWalkDownToFloor) {
+  TestbedOptions opt;
+  opt.machine.chip_power_budget_watts = 40.0;
+  Testbed tb(opt);
+  std::vector<Core*> sys{tb.machine().core(1), tb.machine().core(2), tb.machine().core(3)};
+  std::vector<Core*> app{tb.machine().core(0)};
+  SifGovernor gov(&tb.sim(), &tb.machine(), sys, app, {});
+  gov.Start();
+  tb.sim().RunFor(100 * kMillisecond);  // no traffic at all
+  gov.Stop();
+
+  for (Core* c : sys) {
+    EXPECT_EQ(c->frequency(), c->table().back().freq) << c->name();
+  }
+  // The freed budget boosted the app core beyond base clock.
+  EXPECT_GT(app[0]->frequency(), 3'600'000 * kKhz);
+}
+
+TEST(SifGovernor, LoadedCoresStepBackUp) {
+  TestbedOptions opt;
+  opt.machine.chip_power_budget_watts = 60.0;
+  Testbed tb(opt);
+  SocketApi* api = tb.stack()->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params sp;
+  sp.dst = tb.peer_addr();
+  IperfSender sender(api, sp);
+  IperfPeerSink sink(&tb.peer());
+
+  std::vector<Core*> sys{tb.machine().core(1), tb.machine().core(2), tb.machine().core(3)};
+  std::vector<Core*> app{tb.machine().core(0)};
+  SifGovernor gov(&tb.sim(), &tb.machine(), sys, app, {});
+
+  // Start from the floor, then offer full line-rate load.
+  for (Core* c : sys) {
+    c->SetFrequency(c->table().back().freq);
+  }
+  gov.Start();
+  sender.Start();
+  tb.sim().RunFor(300 * kMillisecond);
+  gov.Stop();
+
+  // The TCP core (core 3) must have climbed well above the 600 MHz floor to
+  // carry the load, and throughput must have recovered to near line rate.
+  EXPECT_GT(tb.machine().core(3)->frequency(), 1'200'000 * kKhz);
+  sink.window().Reset(tb.sim().Now());
+  tb.sim().RunFor(100 * kMillisecond);
+  EXPECT_GT(sink.window().GbitsPerSec(tb.sim().Now()), 7.0);
+}
+
+TEST(SifGovernor, HistoryRecordsSamples) {
+  Testbed tb;
+  std::vector<Core*> sys{tb.machine().core(1)};
+  std::vector<Core*> app{tb.machine().core(0)};
+  SifParams params;
+  params.period = 5 * kMillisecond;
+  SifGovernor gov(&tb.sim(), &tb.machine(), sys, app, params);
+  gov.Start();
+  tb.sim().RunFor(52 * kMillisecond);
+  gov.Stop();
+  // Initial rebalance + ~10 ticks.
+  EXPECT_GE(gov.history().size(), 10u);
+  for (const auto& s : gov.history()) {
+    EXPECT_EQ(s.system_freq.size(), 1u);
+    EXPECT_GT(s.provisioned_watts, 0.0);
+  }
+}
+
+TEST(SifGovernor, StopHaltsTicking) {
+  Testbed tb;
+  SifGovernor gov(&tb.sim(), &tb.machine(), {tb.machine().core(1)}, {tb.machine().core(0)}, {});
+  gov.Start();
+  tb.sim().RunFor(10 * kMillisecond);
+  gov.Stop();
+  const size_t n = gov.history().size();
+  tb.sim().RunFor(50 * kMillisecond);
+  EXPECT_EQ(gov.history().size(), n);
+}
+
+TEST(SifGovernor, RespectsExplicitBudget) {
+  TestbedOptions opt;
+  opt.machine.chip_power_budget_watts = 200.0;  // machine says generous
+  Testbed tb(opt);
+  SifParams params;
+  params.budget_watts = 30.0;  // governor told otherwise
+  SifGovernor gov(&tb.sim(), &tb.machine(),
+                  {tb.machine().core(1), tb.machine().core(2), tb.machine().core(3)},
+                  {tb.machine().core(0)}, params);
+  gov.Start();
+  tb.sim().RunFor(50 * kMillisecond);
+  gov.Stop();
+  EXPECT_LE(gov.history().back().provisioned_watts, 30.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,103 @@
+#include "src/chan/sim_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulation.h"
+
+namespace newtos {
+namespace {
+
+TEST(SimChannel, FifoPushPop) {
+  Simulation sim;
+  SimChannel<int> ch(&sim, "t", 8);
+  EXPECT_TRUE(ch.Push(1));
+  EXPECT_TRUE(ch.Push(2));
+  EXPECT_EQ(ch.Pop(), std::optional<int>(1));
+  EXPECT_EQ(ch.Pop(), std::optional<int>(2));
+  EXPECT_EQ(ch.Pop(), std::nullopt);
+}
+
+TEST(SimChannel, FullChannelDropsAndCounts) {
+  Simulation sim;
+  SimChannel<int> ch(&sim, "t", 2);
+  EXPECT_TRUE(ch.Push(1));
+  EXPECT_TRUE(ch.Push(2));
+  EXPECT_FALSE(ch.Push(3));
+  EXPECT_EQ(ch.stats().full_drops, 1u);
+  EXPECT_EQ(ch.stats().pushes, 2u);
+}
+
+TEST(SimChannel, NotifyFiresAfterVisibilityLatency) {
+  Simulation sim;
+  ChannelCostModel cost;
+  cost.visibility_latency = 100 * kNanosecond;
+  SimChannel<int> ch(&sim, "t", 8, cost);
+  SimTime notified_at = -1;
+  ch.SetNotify([&] { notified_at = sim.Now(); });
+  ch.Push(1);
+  EXPECT_EQ(notified_at, -1);  // not yet visible
+  sim.Run();
+  EXPECT_EQ(notified_at, 100 * kNanosecond);
+}
+
+TEST(SimChannel, NotifyOnlyOnEmptyToNonEmpty) {
+  Simulation sim;
+  SimChannel<int> ch(&sim, "t", 8);
+  int notifies = 0;
+  ch.SetNotify([&] { ++notifies; });
+  ch.Push(1);
+  ch.Push(2);  // channel already non-empty: no second notify scheduled
+  sim.Run();
+  EXPECT_EQ(notifies, 1);
+}
+
+TEST(SimChannel, NotifySkippedIfDrainedBeforeVisibility) {
+  Simulation sim;
+  SimChannel<int> ch(&sim, "t", 8);
+  int notifies = 0;
+  ch.SetNotify([&] { ++notifies; });
+  ch.Push(1);
+  ch.Pop();  // consumer raced ahead
+  sim.Run();
+  EXPECT_EQ(notifies, 0);
+}
+
+TEST(SimChannel, MaxDepthTracked) {
+  Simulation sim;
+  SimChannel<int> ch(&sim, "t", 8);
+  ch.Push(1);
+  ch.Push(2);
+  ch.Push(3);
+  ch.Pop();
+  ch.Push(4);
+  EXPECT_EQ(ch.stats().max_depth, 3u);
+}
+
+TEST(SimChannel, FrontPeeks) {
+  Simulation sim;
+  SimChannel<int> ch(&sim, "t", 8);
+  EXPECT_EQ(ch.Front(), nullptr);
+  ch.Push(9);
+  ASSERT_NE(ch.Front(), nullptr);
+  EXPECT_EQ(*ch.Front(), 9);
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+TEST(SimChannel, RepeatedEmptyTransitionsRenotify) {
+  Simulation sim;
+  SimChannel<int> ch(&sim, "t", 8);
+  int notifies = 0;
+  ch.SetNotify([&] {
+    ++notifies;
+    while (ch.Pop()) {
+    }
+  });
+  ch.Push(1);
+  sim.Run();
+  ch.Push(2);
+  sim.Run();
+  EXPECT_EQ(notifies, 2);
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,175 @@
+#include "src/chan/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace newtos {
+namespace {
+
+TEST(SpscRing, PushPopSingleThread) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_EQ(ring.TryPop(), std::optional<int>(1));
+  EXPECT_EQ(ring.TryPop(), std::optional<int>(2));
+  EXPECT_EQ(ring.TryPop(), std::nullopt);
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, FullRingRejectsPush) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPush(i));
+  }
+  EXPECT_FALSE(ring.TryPush(99));
+  EXPECT_EQ(ring.TryPop(), std::optional<int>(0));
+  EXPECT_TRUE(ring.TryPush(99));  // slot freed
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<int> ring(4);
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(ring.TryPush(round));
+    ASSERT_EQ(ring.TryPop(), std::optional<int>(round));
+  }
+}
+
+TEST(SpscRing, FifoOrderPreserved) {
+  SpscRing<int> ring(128);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+  }
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(ring.TryPop(), std::optional<int>(i));
+  }
+}
+
+TEST(SpscRing, FrontPeeksWithoutConsuming) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.Front(), nullptr);
+  ring.TryPush(7);
+  ASSERT_NE(ring.Front(), nullptr);
+  EXPECT_EQ(*ring.Front(), 7);
+  EXPECT_EQ(ring.TryPop(), std::optional<int>(7));
+}
+
+TEST(SpscRing, MoveOnlyTypesWork) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  EXPECT_TRUE(ring.TryPush(std::make_unique<int>(5)));
+  auto out = ring.TryPop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 5);
+}
+
+TEST(SpscRing, TryEmplaceConstructsInPlace) {
+  SpscRing<std::string> ring(4);
+  EXPECT_TRUE(ring.TryEmplace("hello"));
+  EXPECT_EQ(ring.TryPop(), std::optional<std::string>("hello"));
+}
+
+TEST(SpscRing, DestructorDrainsRemainingElements) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    explicit Probe(std::shared_ptr<int> cc) noexcept : c(std::move(cc)) { ++*c; }
+    Probe(Probe&& o) noexcept : c(std::move(o.c)) {}
+    ~Probe() {
+      if (c) {
+        --*c;
+      }
+    }
+  };
+  {
+    SpscRing<Probe> ring(8);
+    for (int i = 0; i < 5; ++i) {
+      ring.TryPush(Probe(counter));
+    }
+    EXPECT_EQ(*counter, 5);
+  }
+  EXPECT_EQ(*counter, 0);  // all destroyed on ring teardown
+}
+
+TEST(SpscRing, SizeEstimates) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.EmptyConsumer());
+  for (int i = 0; i < 5; ++i) {
+    ring.TryPush(i);
+  }
+  EXPECT_EQ(ring.SizeProducer(), 5u);
+  EXPECT_EQ(ring.SizeConsumer(), 5u);
+  EXPECT_FALSE(ring.EmptyConsumer());
+}
+
+// Real two-thread stress: every token arrives exactly once, in order.
+TEST(SpscRing, TwoThreadStressPreservesOrderAndCount) {
+  constexpr uint64_t kN = 200'000;
+  SpscRing<uint64_t> ring(256);
+  uint64_t received = 0;
+  uint64_t sum = 0;
+  bool order_ok = true;
+
+  std::thread consumer([&] {
+    uint64_t expect = 0;
+    while (expect < kN) {
+      auto v = ring.TryPop();
+      if (!v) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (*v != expect) {
+        order_ok = false;
+        break;
+      }
+      sum += *v;
+      ++expect;
+      ++received;
+    }
+  });
+
+  for (uint64_t i = 0; i < kN; ++i) {
+    while (!ring.TryPush(i)) {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+
+  EXPECT_TRUE(order_ok);
+  EXPECT_EQ(received, kN);
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+// Stress with tiny capacity: maximum contention on the full/empty edges.
+TEST(SpscRing, TinyRingStress) {
+  constexpr uint64_t kN = 50'000;
+  SpscRing<uint64_t> ring(1);
+  uint64_t received = 0;
+  std::thread consumer([&] {
+    while (received < kN) {
+      if (auto v = ring.TryPop()) {
+        ++received;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (uint64_t i = 0; i < kN; ++i) {
+    while (!ring.TryPush(i)) {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(received, kN);
+}
+
+}  // namespace
+}  // namespace newtos

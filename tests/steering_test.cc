@@ -1,0 +1,67 @@
+#include "src/core/steering.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/testbed.h"
+
+namespace newtos {
+namespace {
+
+TEST(Steering, DedicatedPlanBindsStagesToDistinctCores) {
+  Testbed tb;
+  SteeringPlan plan = DedicatedPlan(*tb.stack(), 3'600'000 * kKhz);
+  plan.Apply(tb.machine());
+  EXPECT_EQ(tb.stack()->driver()->core()->id(), 1);
+  EXPECT_EQ(tb.stack()->ip()->core()->id(), 2);
+  EXPECT_EQ(tb.stack()->tcp()->core()->id(), 3);
+  for (int i = 0; i < tb.machine().num_cores(); ++i) {
+    EXPECT_EQ(tb.machine().core(i)->frequency(), 3'600'000 * kKhz);
+  }
+}
+
+TEST(Steering, DedicatedSlowPlanScalesOnlySystemCores) {
+  Testbed tb;
+  SteeringPlan plan = DedicatedSlowPlan(*tb.stack(), 1'200'000 * kKhz, 3'600'000 * kKhz);
+  plan.Apply(tb.machine());
+  EXPECT_EQ(tb.machine().core(0)->frequency(), 3'600'000 * kKhz);  // app
+  EXPECT_EQ(tb.machine().core(1)->frequency(), 1'200'000 * kKhz);  // driver
+  EXPECT_EQ(tb.machine().core(2)->frequency(), 1'200'000 * kKhz);  // ip/pf
+  EXPECT_EQ(tb.machine().core(3)->frequency(), 1'200'000 * kKhz);  // tcp/udp
+  EXPECT_EQ(tb.machine().core(4)->frequency(), 3'600'000 * kKhz);  // spare app
+}
+
+TEST(Steering, ConsolidatedPlanPacksAllSystemServers) {
+  Testbed tb;
+  SteeringPlan plan = ConsolidatedPlan(*tb.stack(), 1, 1'600'000 * kKhz, 3'600'000 * kKhz);
+  plan.Apply(tb.machine());
+  for (Server* s : tb.stack()->SystemServers()) {
+    EXPECT_EQ(s->core()->id(), 1) << s->name();
+  }
+  EXPECT_EQ(tb.machine().core(1)->frequency(), 1'600'000 * kKhz);
+}
+
+TEST(Steering, SystemCoresExtraction) {
+  Testbed tb;
+  SteeringPlan plan = DedicatedPlan(*tb.stack(), 3'600'000 * kKhz);
+  EXPECT_EQ(SystemCores(plan), (std::vector<int>{1, 2, 3}));
+  SteeringPlan packed = ConsolidatedPlan(*tb.stack(), 2, 800'000 * kKhz, 3'600'000 * kKhz);
+  EXPECT_EQ(SystemCores(packed), (std::vector<int>{2}));
+}
+
+TEST(Steering, PlanNamesDescribeLayouts) {
+  Testbed tb;
+  EXPECT_EQ(DedicatedPlan(*tb.stack(), kGhz).name, "dedicated");
+  EXPECT_EQ(DedicatedSlowPlan(*tb.stack(), kGhz, kGhz).name, "dedicated-slow");
+  EXPECT_EQ(ConsolidatedPlan(*tb.stack(), 1, kGhz, kGhz).name, "consolidated");
+}
+
+TEST(Steering, ReApplyingPlansRebindsCleanly) {
+  Testbed tb;
+  ConsolidatedPlan(*tb.stack(), 1, 800'000 * kKhz, 3'600'000 * kKhz).Apply(tb.machine());
+  EXPECT_EQ(tb.stack()->tcp()->core()->id(), 1);
+  DedicatedPlan(*tb.stack(), 3'600'000 * kKhz).Apply(tb.machine());
+  EXPECT_EQ(tb.stack()->tcp()->core()->id(), 3);
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,141 @@
+// TcpHost demux/listen/accept tests: two hosts joined by a zero-loss wire.
+
+#include "src/net/tcp_host.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/simulation.h"
+
+namespace newtos {
+namespace {
+
+class TcpHostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = std::make_unique<TcpHost>(&sim_, Ipv4(10, 0, 0, 1),
+                                   [this](PacketPtr p) { Wire(std::move(p), b_.get()); });
+    b_ = std::make_unique<TcpHost>(&sim_, Ipv4(10, 0, 0, 2),
+                                   [this](PacketPtr p) { Wire(std::move(p), a_.get()); });
+  }
+
+  void Wire(PacketPtr p, TcpHost* dst) {
+    sim_.Schedule(10 * kMicrosecond, [p = std::move(p), dst] { dst->OnPacket(p); });
+  }
+
+  Simulation sim_;
+  std::unique_ptr<TcpHost> a_;
+  std::unique_ptr<TcpHost> b_;
+};
+
+TEST_F(TcpHostTest, ListenAcceptsIncomingSyn) {
+  int accepted = 0;
+  TcpHost::AppHooks hooks;
+  hooks.on_established = [&](TcpConnection*) { ++accepted; };
+  ASSERT_TRUE(b_->Listen(80, hooks));
+
+  TcpConnection* c = a_->Connect(b_->addr(), 80, {});
+  ASSERT_NE(c, nullptr);
+  sim_.RunFor(10 * kMillisecond);
+  EXPECT_EQ(accepted, 1);
+  EXPECT_EQ(c->state(), TcpState::kEstablished);
+  EXPECT_EQ(b_->connection_count(), 1u);
+}
+
+TEST_F(TcpHostTest, DoubleListenRejected) {
+  EXPECT_TRUE(b_->Listen(80, {}));
+  EXPECT_FALSE(b_->Listen(80, {}));
+  EXPECT_TRUE(b_->Listen(81, {}));
+}
+
+TEST_F(TcpHostTest, SynToUnboundPortIsDropped) {
+  TcpConnection* c = a_->Connect(b_->addr(), 9999, {});
+  sim_.RunFor(50 * kMillisecond);
+  EXPECT_NE(c->state(), TcpState::kEstablished);
+  EXPECT_GT(b_->dropped_no_match(), 0u);
+}
+
+TEST_F(TcpHostTest, EphemeralPortsAreDistinct) {
+  b_->Listen(80, {});
+  TcpConnection* c1 = a_->Connect(b_->addr(), 80, {});
+  TcpConnection* c2 = a_->Connect(b_->addr(), 80, {});
+  ASSERT_NE(c1, nullptr);
+  ASSERT_NE(c2, nullptr);
+  EXPECT_NE(c1->key().src_port, c2->key().src_port);
+  sim_.RunFor(10 * kMillisecond);
+  EXPECT_EQ(b_->connection_count(), 2u);
+}
+
+TEST_F(TcpHostTest, DataFlowsToTheRightConnection) {
+  uint64_t got1 = 0, got2 = 0;
+  TcpHost::AppHooks hooks;
+  hooks.on_data = [&](TcpConnection* c, uint32_t bytes) {
+    // Demux check: tag by destination port of the peer's ephemeral port.
+    if (c->key().dst_port % 2 == 0) {
+      got1 += bytes;
+    } else {
+      got2 += bytes;
+    }
+  };
+  b_->Listen(80, hooks);
+  TcpConnection* c1 = a_->Connect(b_->addr(), 80, {});
+  TcpConnection* c2 = a_->Connect(b_->addr(), 80, {});
+  sim_.RunFor(10 * kMillisecond);
+  c1->Send(1000);
+  c2->Send(3000);
+  sim_.RunFor(100 * kMillisecond);
+  EXPECT_EQ(got1 + got2, 4000u);
+  EXPECT_TRUE((got1 == 1000 && got2 == 3000) || (got1 == 3000 && got2 == 1000));
+}
+
+TEST_F(TcpHostTest, ReapClosedRemovesDeadConnections) {
+  b_->Listen(80, {});
+  TcpConnection* c = a_->Connect(b_->addr(), 80, {});
+  sim_.RunFor(10 * kMillisecond);
+  ASSERT_EQ(c->state(), TcpState::kEstablished);
+  c->CloseSend();
+  sim_.RunFor(5 * kMillisecond);
+  // Close from the passive side too.
+  for (TcpConnection* bc : b_->Connections()) {
+    bc->CloseSend();
+  }
+  sim_.RunFor(1 * kSecond);
+  EXPECT_GT(a_->ReapClosed(), 0u);
+  EXPECT_GT(b_->ReapClosed(), 0u);
+  EXPECT_EQ(a_->connection_count(), 0u);
+  EXPECT_EQ(b_->connection_count(), 0u);
+}
+
+TEST_F(TcpHostTest, OnClosedHookFires) {
+  int closed = 0;
+  TcpHost::AppHooks hooks;
+  hooks.on_closed = [&](TcpConnection*) { ++closed; };
+  b_->Listen(80, hooks);
+  TcpConnection* c = a_->Connect(b_->addr(), 80, {});
+  sim_.RunFor(10 * kMillisecond);
+  c->Abort();
+  sim_.RunFor(10 * kMillisecond);
+  EXPECT_EQ(closed, 1);
+}
+
+TEST_F(TcpHostTest, ManyConcurrentConnections) {
+  uint64_t total = 0;
+  TcpHost::AppHooks hooks;
+  hooks.on_data = [&](TcpConnection*, uint32_t bytes) { total += bytes; };
+  b_->Listen(80, hooks);
+  std::vector<TcpConnection*> conns;
+  for (int i = 0; i < 50; ++i) {
+    conns.push_back(a_->Connect(b_->addr(), 80, {}));
+  }
+  sim_.RunFor(50 * kMillisecond);
+  for (TcpConnection* c : conns) {
+    ASSERT_EQ(c->state(), TcpState::kEstablished);
+    c->Send(10'000);
+  }
+  sim_.RunFor(2 * kSecond);
+  EXPECT_EQ(total, 50u * 10'000u);
+}
+
+}  // namespace
+}  // namespace newtos

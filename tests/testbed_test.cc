@@ -1,0 +1,98 @@
+// Testbed rig and TimeSeries sampler tests.
+
+#include "src/core/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/timeseries.h"
+#include "src/workload/iperf.h"
+
+namespace newtos {
+namespace {
+
+TEST(Testbed, DefaultBuildsMultiserver) {
+  Testbed tb;
+  EXPECT_NE(tb.stack(), nullptr);
+  EXPECT_EQ(tb.mono(), nullptr);
+  EXPECT_EQ(tb.machine().num_cores(), 5);
+  EXPECT_EQ(tb.sut_addr(), Ipv4(10, 0, 0, 1));
+  EXPECT_EQ(tb.peer_addr(), Ipv4(10, 0, 0, 2));
+}
+
+TEST(Testbed, MonolithicOptionBuildsBaseline) {
+  TestbedOptions opt;
+  opt.monolithic = true;
+  Testbed tb(opt);
+  EXPECT_EQ(tb.stack(), nullptr);
+  EXPECT_NE(tb.mono(), nullptr);
+}
+
+TEST(Testbed, WarmUpAdvancesClockAndResetsStats) {
+  Testbed tb;
+  tb.WarmUp(100 * kMillisecond);
+  EXPECT_EQ(tb.sim().Now(), 100 * kMillisecond);
+  EXPECT_NEAR(tb.machine().PackageJoulesAt(tb.sim().Now()), 0.0, 1e-9);
+}
+
+TEST(Testbed, LinkLossOptionDropsFrames) {
+  TestbedOptions opt;
+  opt.link_loss = 0.02;
+  Testbed tb(opt);
+  SocketApi* api = tb.stack()->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params sp;
+  sp.dst = tb.peer_addr();
+  IperfSender sender(api, sp);
+  IperfPeerSink sink(&tb.peer());
+  sender.Start();
+  tb.sim().RunFor(200 * kMillisecond);
+  EXPECT_GT(tb.machine().nic()->stats().link_loss_drops, 0u);
+  EXPECT_GT(sink.total_bytes(), 0u);  // TCP recovers
+}
+
+TEST(Testbed, KeepTiesLifetimeToTestbed) {
+  auto flag = std::make_shared<int>(7);
+  std::weak_ptr<int> weak = flag;
+  {
+    Testbed tb;
+    tb.Keep(std::move(flag));
+    EXPECT_FALSE(weak.expired());
+  }
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(TimeSeries, SamplesAtFixedInterval) {
+  Simulation sim;
+  int counter = 0;
+  TimeSeries ts(&sim, 10 * kMillisecond, [&] { return static_cast<double>(++counter); });
+  ts.Start();
+  sim.RunFor(55 * kMillisecond);
+  ts.Stop();
+  ASSERT_EQ(ts.points().size(), 5u);
+  EXPECT_EQ(ts.points()[0].at, 10 * kMillisecond);
+  EXPECT_EQ(ts.points()[4].at, 50 * kMillisecond);
+  EXPECT_DOUBLE_EQ(ts.points()[4].value, 5.0);
+}
+
+TEST(TimeSeries, StopHaltsSampling) {
+  Simulation sim;
+  TimeSeries ts(&sim, kMillisecond, [] { return 1.0; });
+  ts.Start();
+  sim.RunFor(5 * kMillisecond);
+  ts.Stop();
+  const size_t n = ts.points().size();
+  sim.RunFor(10 * kMillisecond);
+  EXPECT_EQ(ts.points().size(), n);
+}
+
+TEST(TimeSeries, MaxOverPoints) {
+  Simulation sim;
+  double v = 0.0;
+  TimeSeries ts(&sim, kMillisecond, [&] { return (v += 1.5); });
+  EXPECT_DOUBLE_EQ(ts.Max(), 0.0);  // empty
+  ts.Start();
+  sim.RunFor(4 * kMillisecond);
+  EXPECT_DOUBLE_EQ(ts.Max(), 6.0);
+}
+
+}  // namespace
+}  // namespace newtos

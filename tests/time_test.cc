@@ -1,0 +1,85 @@
+#include "src/sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace newtos {
+namespace {
+
+TEST(Time, UnitRelations) {
+  EXPECT_EQ(kNanosecond, 1000 * kPicosecond);
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kGhz, 1000 * kMhz);
+}
+
+TEST(Time, CyclesToTimeExactAtRoundFrequencies) {
+  // 1 cycle @ 1 GHz = 1 ns; @ 4 GHz = 250 ps; @ 2.5 GHz = 400 ps.
+  EXPECT_EQ(CyclesToTime(1, 1 * kGhz), 1 * kNanosecond);
+  EXPECT_EQ(CyclesToTime(1, 4 * kGhz), 250);
+  EXPECT_EQ(CyclesToTime(1, 2'500'000 * kKhz), 400);
+  EXPECT_EQ(CyclesToTime(1000, 1 * kGhz), 1 * kMicrosecond);
+}
+
+TEST(Time, CyclesToTimeZeroAndLarge) {
+  EXPECT_EQ(CyclesToTime(0, 3 * kGhz), 0);
+  // 3.6e9 cycles at 3.6 GHz is exactly one second.
+  EXPECT_EQ(CyclesToTime(3'600'000'000LL, 3'600'000 * kKhz), kSecond);
+  // Large value: one minute of cycles does not overflow.
+  EXPECT_EQ(CyclesToTime(60LL * 3'600'000'000LL, 3'600'000 * kKhz), 60 * kSecond);
+}
+
+TEST(Time, TimeToCyclesInvertsCyclesToTime) {
+  for (Cycles c : {1LL, 7LL, 100LL, 12345LL, 999999937LL}) {
+    for (FreqKhz f : {600'000 * kKhz, 1'000'000 * kKhz, 3'600'000 * kKhz}) {
+      const SimTime t = CyclesToTime(c, f);
+      const Cycles back = TimeToCycles(t, f);
+      // Rounding can lose at most one cycle.
+      EXPECT_NEAR(static_cast<double>(back), static_cast<double>(c), 1.0)
+          << "c=" << c << " f=" << f;
+    }
+  }
+}
+
+TEST(Time, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(250 * kMillisecond), 0.25);
+  EXPECT_DOUBLE_EQ(ToGhz(3'600'000 * kKhz), 3.6);
+}
+
+TEST(Time, FormatTimePicksSensibleUnits) {
+  EXPECT_EQ(FormatTime(500), "500ps");
+  EXPECT_EQ(FormatTime(1500), "1.500ns");
+  EXPECT_EQ(FormatTime(2 * kMicrosecond), "2.000us");
+  EXPECT_EQ(FormatTime(3 * kMillisecond + 500 * kMicrosecond), "3.500ms");
+  EXPECT_EQ(FormatTime(2 * kSecond), "2.000s");
+  EXPECT_EQ(FormatTime(-2 * kSecond), "-2.000s");
+}
+
+// Property: monotonicity of CyclesToTime in both arguments.
+class CyclesMonotone : public ::testing::TestWithParam<FreqKhz> {};
+
+TEST_P(CyclesMonotone, MoreCyclesNeverTakeLessTime) {
+  const FreqKhz f = GetParam();
+  SimTime prev = -1;
+  for (Cycles c = 0; c < 10000; c += 37) {
+    const SimTime t = CyclesToTime(c, f);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST_P(CyclesMonotone, HigherFrequencyNeverSlower) {
+  const FreqKhz f = GetParam();
+  const FreqKhz faster = f + 400'000 * kKhz;
+  for (Cycles c : {100LL, 10'000LL, 1'000'000LL}) {
+    EXPECT_LE(CyclesToTime(c, faster), CyclesToTime(c, f));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Freqs, CyclesMonotone,
+                         ::testing::Values(300'000 * kKhz, 600'000 * kKhz, 1'200'000 * kKhz,
+                                           2'400'000 * kKhz, 3'600'000 * kKhz, 4'400'000 * kKhz));
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,101 @@
+#include "src/core/turbo.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulation.h"
+
+namespace newtos {
+namespace {
+
+class TurboTest : public ::testing::Test {
+ protected:
+  void Build(double budget) {
+    Machine::Params p;
+    p.num_cores = 4;
+    p.chip_power_budget_watts = budget;
+    machine_ = std::make_unique<Machine>(&sim_, "m", p);
+  }
+  Simulation sim_;
+  std::unique_ptr<Machine> machine_;
+};
+
+TEST_F(TurboTest, ProvisionedWattsSumsPeakDraws) {
+  Build(100.0);
+  TurboGovernor gov(machine_.get());
+  const PowerModel& pm = machine_->power_model();
+  double expect = pm.uncore_watts();
+  for (int i = 0; i < 4; ++i) {
+    expect += pm.PeakWatts(machine_->core(i)->operating_point());
+  }
+  EXPECT_DOUBLE_EQ(gov.ProvisionedWatts(), expect);
+}
+
+TEST_F(TurboTest, GenerousBudgetGrantsTopTurbo) {
+  Build(500.0);
+  TurboGovernor gov(machine_.get());
+  gov.Apply({{machine_->core(1), 3'600'000 * kKhz}}, {machine_->core(0)});
+  EXPECT_EQ(machine_->core(0)->frequency(), 4'400'000 * kKhz);
+}
+
+TEST_F(TurboTest, TightBudgetLimitsBoost) {
+  Build(36.0);
+  TurboGovernor gov(machine_.get());
+  // Fix three system cores fast; the app core gets whatever is left.
+  gov.Apply({{machine_->core(1), 3'600'000 * kKhz},
+             {machine_->core(2), 3'600'000 * kKhz},
+             {machine_->core(3), 3'600'000 * kKhz}},
+            {machine_->core(0)});
+  const FreqKhz app_with_fast_stack = machine_->core(0)->frequency();
+
+  // Slow the system cores: the freed watts become app turbo headroom.
+  gov.Apply({{machine_->core(1), 1'200'000 * kKhz},
+             {machine_->core(2), 1'200'000 * kKhz},
+             {machine_->core(3), 1'200'000 * kKhz}},
+            {machine_->core(0)});
+  const FreqKhz app_with_slow_stack = machine_->core(0)->frequency();
+
+  EXPECT_GT(app_with_slow_stack, app_with_fast_stack)
+      << "slowing the system cores must boost the application core";
+}
+
+TEST_F(TurboTest, ResultStaysWithinBudgetWhenFeasible) {
+  Build(40.0);
+  TurboGovernor gov(machine_.get());
+  const double provisioned = gov.Apply({{machine_->core(1), 1'200'000 * kKhz},
+                                        {machine_->core(2), 1'200'000 * kKhz},
+                                        {machine_->core(3), 1'200'000 * kKhz}},
+                                       {machine_->core(0)});
+  EXPECT_LE(provisioned, 40.0 + 1e-9);
+}
+
+TEST_F(TurboTest, MultipleBoostCoresGrantedInPriorityOrder) {
+  Build(45.0);
+  TurboGovernor gov(machine_.get());
+  gov.Apply({{machine_->core(2), 1'200'000 * kKhz}, {machine_->core(3), 1'200'000 * kKhz}},
+            {machine_->core(0), machine_->core(1)});
+  // The first boost core gets at least as much frequency as the second.
+  EXPECT_GE(machine_->core(0)->frequency(), machine_->core(1)->frequency());
+}
+
+TEST_F(TurboTest, InfeasibleBudgetFallsBackToFloor) {
+  Build(5.0);  // below even the uncore draw
+  TurboGovernor gov(machine_.get());
+  gov.Apply({}, {machine_->core(0), machine_->core(1), machine_->core(2), machine_->core(3)});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(machine_->core(i)->frequency(), machine_->core(i)->table().back().freq);
+  }
+}
+
+TEST_F(TurboTest, ExplicitBudgetOverridesMachineDefault) {
+  Build(500.0);
+  TurboGovernor gov(machine_.get(), 36.0);
+  EXPECT_DOUBLE_EQ(gov.budget_watts(), 36.0);
+  gov.Apply({{machine_->core(1), 3'600'000 * kKhz},
+             {machine_->core(2), 3'600'000 * kKhz},
+             {machine_->core(3), 3'600'000 * kKhz}},
+            {machine_->core(0)});
+  EXPECT_LT(machine_->core(0)->frequency(), 4'400'000 * kKhz);
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,103 @@
+#include "src/net/udp.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/sim/simulation.h"
+
+namespace newtos {
+namespace {
+
+class UdpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = std::make_unique<UdpHost>(&sim_, Ipv4(10, 0, 0, 1),
+                                   [this](PacketPtr p) { Wire(std::move(p), b_.get()); });
+    b_ = std::make_unique<UdpHost>(&sim_, Ipv4(10, 0, 0, 2),
+                                   [this](PacketPtr p) { Wire(std::move(p), a_.get()); });
+  }
+  void Wire(PacketPtr p, UdpHost* dst) {
+    sim_.Schedule(5 * kMicrosecond, [p = std::move(p), dst] { dst->OnPacket(p); });
+  }
+
+  Simulation sim_;
+  std::unique_ptr<UdpHost> a_;
+  std::unique_ptr<UdpHost> b_;
+};
+
+TEST_F(UdpTest, DatagramDeliveredToBoundPort) {
+  int got = 0;
+  uint32_t got_bytes = 0;
+  ASSERT_TRUE(b_->Bind(53, [&](const PacketPtr& p) {
+    ++got;
+    got_bytes = p->payload_bytes;
+  }));
+  a_->Send(1111, b_->addr(), 53, 256);
+  sim_.Run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(got_bytes, 256u);
+  EXPECT_EQ(b_->delivered(), 1u);
+}
+
+TEST_F(UdpTest, UnboundPortDropsAndCounts) {
+  a_->Send(1111, b_->addr(), 999, 100);
+  sim_.Run();
+  EXPECT_EQ(b_->delivered(), 0u);
+  EXPECT_EQ(b_->dropped_unbound(), 1u);
+}
+
+TEST_F(UdpTest, DoubleBindRejected) {
+  EXPECT_TRUE(b_->Bind(53, [](const PacketPtr&) {}));
+  EXPECT_FALSE(b_->Bind(53, [](const PacketPtr&) {}));
+}
+
+TEST_F(UdpTest, UnbindStopsDelivery) {
+  int got = 0;
+  b_->Bind(53, [&](const PacketPtr&) { ++got; });
+  a_->Send(1, b_->addr(), 53, 10);
+  sim_.Run();
+  b_->Unbind(53);
+  a_->Send(1, b_->addr(), 53, 10);
+  sim_.Run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(b_->dropped_unbound(), 1u);
+}
+
+TEST_F(UdpTest, HeaderFieldsFilledCorrectly) {
+  PacketPtr sent = a_->Send(4242, b_->addr(), 53, 99, /*app_tag=*/77);
+  EXPECT_EQ(sent->ip.proto, IpProto::kUdp);
+  EXPECT_EQ(sent->ip.src, a_->addr());
+  EXPECT_EQ(sent->ip.dst, b_->addr());
+  EXPECT_EQ(sent->udp.src_port, 4242);
+  EXPECT_EQ(sent->udp.dst_port, 53);
+  EXPECT_EQ(sent->payload_bytes, 99u);
+  EXPECT_EQ(sent->app_tag, 77u);
+}
+
+TEST_F(UdpTest, WrongAddressIgnored) {
+  b_->Bind(53, [](const PacketPtr&) { FAIL() << "must not deliver"; });
+  // Craft a packet addressed elsewhere and hand it to b.
+  PacketPtr p = MakePacket();
+  p->ip.proto = IpProto::kUdp;
+  p->ip.dst = Ipv4(99, 99, 99, 99);
+  p->udp.dst_port = 53;
+  b_->OnPacket(p);
+  EXPECT_EQ(b_->dropped_unbound(), 1u);
+}
+
+TEST_F(UdpTest, BidirectionalEcho) {
+  int echoes = 0;
+  b_->Bind(7, [&](const PacketPtr& p) {
+    b_->Send(7, p->ip.src, p->udp.src_port, p->payload_bytes);
+  });
+  a_->Bind(1234, [&](const PacketPtr&) { ++echoes; });
+  for (int i = 0; i < 10; ++i) {
+    a_->Send(1234, b_->addr(), 7, 64);
+  }
+  sim_.Run();
+  EXPECT_EQ(echoes, 10);
+}
+
+}  // namespace
+}  // namespace newtos
