@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_recovery_timeline.dir/fig11_recovery_timeline.cc.o"
+  "CMakeFiles/fig11_recovery_timeline.dir/fig11_recovery_timeline.cc.o.d"
+  "fig11_recovery_timeline"
+  "fig11_recovery_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_recovery_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ping_latency.dir/fig12_ping_latency.cc.o"
+  "CMakeFiles/fig12_ping_latency.dir/fig12_ping_latency.cc.o.d"
+  "fig12_ping_latency"
+  "fig12_ping_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ping_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

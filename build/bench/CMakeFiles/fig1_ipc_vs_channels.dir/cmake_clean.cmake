@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_ipc_vs_channels.dir/fig1_ipc_vs_channels.cc.o"
+  "CMakeFiles/fig1_ipc_vs_channels.dir/fig1_ipc_vs_channels.cc.o.d"
+  "fig1_ipc_vs_channels"
+  "fig1_ipc_vs_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_ipc_vs_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

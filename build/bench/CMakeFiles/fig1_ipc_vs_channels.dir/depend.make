@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_ipc_vs_channels.
+# This may be replaced when dependencies are built.

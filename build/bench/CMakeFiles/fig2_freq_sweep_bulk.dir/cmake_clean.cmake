@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_freq_sweep_bulk.dir/fig2_freq_sweep_bulk.cc.o"
+  "CMakeFiles/fig2_freq_sweep_bulk.dir/fig2_freq_sweep_bulk.cc.o.d"
+  "fig2_freq_sweep_bulk"
+  "fig2_freq_sweep_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_freq_sweep_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_freq_sweep_bulk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stage_utilization.dir/fig3_stage_utilization.cc.o"
+  "CMakeFiles/fig3_stage_utilization.dir/fig3_stage_utilization.cc.o.d"
+  "fig3_stage_utilization"
+  "fig3_stage_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stage_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sif_turbo.dir/fig4_sif_turbo.cc.o"
+  "CMakeFiles/fig4_sif_turbo.dir/fig4_sif_turbo.cc.o.d"
+  "fig4_sif_turbo"
+  "fig4_sif_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sif_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_consolidation.dir/fig6_consolidation.cc.o"
+  "CMakeFiles/fig6_consolidation.dir/fig6_consolidation.cc.o.d"
+  "fig6_consolidation"
+  "fig6_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_poll_vs_halt.dir/fig7_poll_vs_halt.cc.o"
+  "CMakeFiles/fig7_poll_vs_halt.dir/fig7_poll_vs_halt.cc.o.d"
+  "fig7_poll_vs_halt"
+  "fig7_poll_vs_halt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_poll_vs_halt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_microreboot.dir/fig8_microreboot.cc.o"
+  "CMakeFiles/fig8_microreboot.dir/fig8_microreboot.cc.o.d"
+  "fig8_microreboot"
+  "fig8_microreboot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_microreboot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_wimpy_cores.dir/fig9_wimpy_cores.cc.o"
+  "CMakeFiles/fig9_wimpy_cores.dir/fig9_wimpy_cores.cc.o.d"
+  "fig9_wimpy_cores"
+  "fig9_wimpy_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_wimpy_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

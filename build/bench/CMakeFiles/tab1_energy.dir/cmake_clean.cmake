@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_energy.dir/tab1_energy.cc.o"
+  "CMakeFiles/tab1_energy.dir/tab1_energy.cc.o.d"
+  "tab1_energy"
+  "tab1_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_vs_monolithic.dir/tab2_vs_monolithic.cc.o"
+  "CMakeFiles/tab2_vs_monolithic.dir/tab2_vs_monolithic.cc.o.d"
+  "tab2_vs_monolithic"
+  "tab2_vs_monolithic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_vs_monolithic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

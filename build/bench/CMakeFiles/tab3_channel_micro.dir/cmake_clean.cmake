@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_channel_micro.dir/tab3_channel_micro.cc.o"
+  "CMakeFiles/tab3_channel_micro.dir/tab3_channel_micro.cc.o.d"
+  "tab3_channel_micro"
+  "tab3_channel_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_channel_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

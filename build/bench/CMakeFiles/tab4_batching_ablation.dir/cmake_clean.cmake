@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_batching_ablation.dir/tab4_batching_ablation.cc.o"
+  "CMakeFiles/tab4_batching_ablation.dir/tab4_batching_ablation.cc.o.d"
+  "tab4_batching_ablation"
+  "tab4_batching_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_batching_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

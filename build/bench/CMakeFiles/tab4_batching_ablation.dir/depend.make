@@ -1,0 +1,2 @@
+# Empty dependencies file for tab4_batching_ablation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab5_conn_churn.dir/tab5_conn_churn.cc.o"
+  "CMakeFiles/tab5_conn_churn.dir/tab5_conn_churn.cc.o.d"
+  "tab5_conn_churn"
+  "tab5_conn_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab5_conn_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab6_sack_ablation.dir/tab6_sack_ablation.cc.o"
+  "CMakeFiles/tab6_sack_ablation.dir/tab6_sack_ablation.cc.o.d"
+  "tab6_sack_ablation"
+  "tab6_sack_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab6_sack_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

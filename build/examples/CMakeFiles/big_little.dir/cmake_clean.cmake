@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/big_little.dir/big_little.cpp.o"
+  "CMakeFiles/big_little.dir/big_little.cpp.o.d"
+  "big_little"
+  "big_little.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/big_little.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_steering.dir/dvfs_steering.cpp.o"
+  "CMakeFiles/dvfs_steering.dir/dvfs_steering.cpp.o.d"
+  "dvfs_steering"
+  "dvfs_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

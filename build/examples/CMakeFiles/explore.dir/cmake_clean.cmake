@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore.dir/explore.cpp.o"
+  "CMakeFiles/explore.dir/explore.cpp.o.d"
+  "explore"
+  "explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newtos_chan.dir/kernel_ipc.cc.o"
+  "CMakeFiles/newtos_chan.dir/kernel_ipc.cc.o.d"
+  "libnewtos_chan.a"
+  "libnewtos_chan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newtos_chan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

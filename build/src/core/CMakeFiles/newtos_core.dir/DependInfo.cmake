@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/poll_policy.cc" "src/core/CMakeFiles/newtos_core.dir/poll_policy.cc.o" "gcc" "src/core/CMakeFiles/newtos_core.dir/poll_policy.cc.o.d"
+  "/root/repo/src/core/sif_governor.cc" "src/core/CMakeFiles/newtos_core.dir/sif_governor.cc.o" "gcc" "src/core/CMakeFiles/newtos_core.dir/sif_governor.cc.o.d"
+  "/root/repo/src/core/steering.cc" "src/core/CMakeFiles/newtos_core.dir/steering.cc.o" "gcc" "src/core/CMakeFiles/newtos_core.dir/steering.cc.o.d"
+  "/root/repo/src/core/testbed.cc" "src/core/CMakeFiles/newtos_core.dir/testbed.cc.o" "gcc" "src/core/CMakeFiles/newtos_core.dir/testbed.cc.o.d"
+  "/root/repo/src/core/turbo.cc" "src/core/CMakeFiles/newtos_core.dir/turbo.cc.o" "gcc" "src/core/CMakeFiles/newtos_core.dir/turbo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/newtos_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/newtos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/newtos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/newtos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/newtos_chan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

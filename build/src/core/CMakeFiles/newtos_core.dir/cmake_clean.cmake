@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newtos_core.dir/poll_policy.cc.o"
+  "CMakeFiles/newtos_core.dir/poll_policy.cc.o.d"
+  "CMakeFiles/newtos_core.dir/sif_governor.cc.o"
+  "CMakeFiles/newtos_core.dir/sif_governor.cc.o.d"
+  "CMakeFiles/newtos_core.dir/steering.cc.o"
+  "CMakeFiles/newtos_core.dir/steering.cc.o.d"
+  "CMakeFiles/newtos_core.dir/testbed.cc.o"
+  "CMakeFiles/newtos_core.dir/testbed.cc.o.d"
+  "CMakeFiles/newtos_core.dir/turbo.cc.o"
+  "CMakeFiles/newtos_core.dir/turbo.cc.o.d"
+  "libnewtos_core.a"
+  "libnewtos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newtos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

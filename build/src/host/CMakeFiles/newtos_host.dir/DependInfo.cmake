@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/affinity.cc" "src/host/CMakeFiles/newtos_host.dir/affinity.cc.o" "gcc" "src/host/CMakeFiles/newtos_host.dir/affinity.cc.o.d"
+  "/root/repo/src/host/pipeline.cc" "src/host/CMakeFiles/newtos_host.dir/pipeline.cc.o" "gcc" "src/host/CMakeFiles/newtos_host.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chan/CMakeFiles/newtos_chan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/newtos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newtos_host.dir/affinity.cc.o"
+  "CMakeFiles/newtos_host.dir/affinity.cc.o.d"
+  "CMakeFiles/newtos_host.dir/pipeline.cc.o"
+  "CMakeFiles/newtos_host.dir/pipeline.cc.o.d"
+  "libnewtos_host.a"
+  "libnewtos_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newtos_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnewtos_host.a"
+)

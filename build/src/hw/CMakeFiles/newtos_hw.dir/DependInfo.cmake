@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cpu.cc" "src/hw/CMakeFiles/newtos_hw.dir/cpu.cc.o" "gcc" "src/hw/CMakeFiles/newtos_hw.dir/cpu.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/newtos_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/newtos_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/nic.cc" "src/hw/CMakeFiles/newtos_hw.dir/nic.cc.o" "gcc" "src/hw/CMakeFiles/newtos_hw.dir/nic.cc.o.d"
+  "/root/repo/src/hw/operating_point.cc" "src/hw/CMakeFiles/newtos_hw.dir/operating_point.cc.o" "gcc" "src/hw/CMakeFiles/newtos_hw.dir/operating_point.cc.o.d"
+  "/root/repo/src/hw/power.cc" "src/hw/CMakeFiles/newtos_hw.dir/power.cc.o" "gcc" "src/hw/CMakeFiles/newtos_hw.dir/power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/newtos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/newtos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

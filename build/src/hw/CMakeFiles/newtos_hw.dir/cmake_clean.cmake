@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newtos_hw.dir/cpu.cc.o"
+  "CMakeFiles/newtos_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/newtos_hw.dir/machine.cc.o"
+  "CMakeFiles/newtos_hw.dir/machine.cc.o.d"
+  "CMakeFiles/newtos_hw.dir/nic.cc.o"
+  "CMakeFiles/newtos_hw.dir/nic.cc.o.d"
+  "CMakeFiles/newtos_hw.dir/operating_point.cc.o"
+  "CMakeFiles/newtos_hw.dir/operating_point.cc.o.d"
+  "CMakeFiles/newtos_hw.dir/power.cc.o"
+  "CMakeFiles/newtos_hw.dir/power.cc.o.d"
+  "libnewtos_hw.a"
+  "libnewtos_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newtos_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newtos_metrics.dir/histogram.cc.o"
+  "CMakeFiles/newtos_metrics.dir/histogram.cc.o.d"
+  "CMakeFiles/newtos_metrics.dir/stats.cc.o"
+  "CMakeFiles/newtos_metrics.dir/stats.cc.o.d"
+  "CMakeFiles/newtos_metrics.dir/table.cc.o"
+  "CMakeFiles/newtos_metrics.dir/table.cc.o.d"
+  "libnewtos_metrics.a"
+  "libnewtos_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newtos_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

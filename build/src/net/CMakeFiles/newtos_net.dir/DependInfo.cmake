@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/newtos_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/newtos_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/codec.cc" "src/net/CMakeFiles/newtos_net.dir/codec.cc.o" "gcc" "src/net/CMakeFiles/newtos_net.dir/codec.cc.o.d"
+  "/root/repo/src/net/filter.cc" "src/net/CMakeFiles/newtos_net.dir/filter.cc.o" "gcc" "src/net/CMakeFiles/newtos_net.dir/filter.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/newtos_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/newtos_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/pcap.cc" "src/net/CMakeFiles/newtos_net.dir/pcap.cc.o" "gcc" "src/net/CMakeFiles/newtos_net.dir/pcap.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/newtos_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/newtos_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/tcp_host.cc" "src/net/CMakeFiles/newtos_net.dir/tcp_host.cc.o" "gcc" "src/net/CMakeFiles/newtos_net.dir/tcp_host.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/net/CMakeFiles/newtos_net.dir/udp.cc.o" "gcc" "src/net/CMakeFiles/newtos_net.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/newtos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newtos_net.dir/checksum.cc.o"
+  "CMakeFiles/newtos_net.dir/checksum.cc.o.d"
+  "CMakeFiles/newtos_net.dir/codec.cc.o"
+  "CMakeFiles/newtos_net.dir/codec.cc.o.d"
+  "CMakeFiles/newtos_net.dir/filter.cc.o"
+  "CMakeFiles/newtos_net.dir/filter.cc.o.d"
+  "CMakeFiles/newtos_net.dir/packet.cc.o"
+  "CMakeFiles/newtos_net.dir/packet.cc.o.d"
+  "CMakeFiles/newtos_net.dir/pcap.cc.o"
+  "CMakeFiles/newtos_net.dir/pcap.cc.o.d"
+  "CMakeFiles/newtos_net.dir/tcp.cc.o"
+  "CMakeFiles/newtos_net.dir/tcp.cc.o.d"
+  "CMakeFiles/newtos_net.dir/tcp_host.cc.o"
+  "CMakeFiles/newtos_net.dir/tcp_host.cc.o.d"
+  "CMakeFiles/newtos_net.dir/udp.cc.o"
+  "CMakeFiles/newtos_net.dir/udp.cc.o.d"
+  "libnewtos_net.a"
+  "libnewtos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newtos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/app_process.cc" "src/os/CMakeFiles/newtos_os.dir/app_process.cc.o" "gcc" "src/os/CMakeFiles/newtos_os.dir/app_process.cc.o.d"
+  "/root/repo/src/os/driver_server.cc" "src/os/CMakeFiles/newtos_os.dir/driver_server.cc.o" "gcc" "src/os/CMakeFiles/newtos_os.dir/driver_server.cc.o.d"
+  "/root/repo/src/os/ip_server.cc" "src/os/CMakeFiles/newtos_os.dir/ip_server.cc.o" "gcc" "src/os/CMakeFiles/newtos_os.dir/ip_server.cc.o.d"
+  "/root/repo/src/os/microreboot.cc" "src/os/CMakeFiles/newtos_os.dir/microreboot.cc.o" "gcc" "src/os/CMakeFiles/newtos_os.dir/microreboot.cc.o.d"
+  "/root/repo/src/os/monolithic_stack.cc" "src/os/CMakeFiles/newtos_os.dir/monolithic_stack.cc.o" "gcc" "src/os/CMakeFiles/newtos_os.dir/monolithic_stack.cc.o.d"
+  "/root/repo/src/os/peer_host.cc" "src/os/CMakeFiles/newtos_os.dir/peer_host.cc.o" "gcc" "src/os/CMakeFiles/newtos_os.dir/peer_host.cc.o.d"
+  "/root/repo/src/os/pf_server.cc" "src/os/CMakeFiles/newtos_os.dir/pf_server.cc.o" "gcc" "src/os/CMakeFiles/newtos_os.dir/pf_server.cc.o.d"
+  "/root/repo/src/os/server.cc" "src/os/CMakeFiles/newtos_os.dir/server.cc.o" "gcc" "src/os/CMakeFiles/newtos_os.dir/server.cc.o.d"
+  "/root/repo/src/os/stack.cc" "src/os/CMakeFiles/newtos_os.dir/stack.cc.o" "gcc" "src/os/CMakeFiles/newtos_os.dir/stack.cc.o.d"
+  "/root/repo/src/os/syscall_server.cc" "src/os/CMakeFiles/newtos_os.dir/syscall_server.cc.o" "gcc" "src/os/CMakeFiles/newtos_os.dir/syscall_server.cc.o.d"
+  "/root/repo/src/os/tcp_server.cc" "src/os/CMakeFiles/newtos_os.dir/tcp_server.cc.o" "gcc" "src/os/CMakeFiles/newtos_os.dir/tcp_server.cc.o.d"
+  "/root/repo/src/os/udp_server.cc" "src/os/CMakeFiles/newtos_os.dir/udp_server.cc.o" "gcc" "src/os/CMakeFiles/newtos_os.dir/udp_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/newtos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/newtos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/newtos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/newtos_chan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newtos_os.dir/app_process.cc.o"
+  "CMakeFiles/newtos_os.dir/app_process.cc.o.d"
+  "CMakeFiles/newtos_os.dir/driver_server.cc.o"
+  "CMakeFiles/newtos_os.dir/driver_server.cc.o.d"
+  "CMakeFiles/newtos_os.dir/ip_server.cc.o"
+  "CMakeFiles/newtos_os.dir/ip_server.cc.o.d"
+  "CMakeFiles/newtos_os.dir/microreboot.cc.o"
+  "CMakeFiles/newtos_os.dir/microreboot.cc.o.d"
+  "CMakeFiles/newtos_os.dir/monolithic_stack.cc.o"
+  "CMakeFiles/newtos_os.dir/monolithic_stack.cc.o.d"
+  "CMakeFiles/newtos_os.dir/peer_host.cc.o"
+  "CMakeFiles/newtos_os.dir/peer_host.cc.o.d"
+  "CMakeFiles/newtos_os.dir/pf_server.cc.o"
+  "CMakeFiles/newtos_os.dir/pf_server.cc.o.d"
+  "CMakeFiles/newtos_os.dir/server.cc.o"
+  "CMakeFiles/newtos_os.dir/server.cc.o.d"
+  "CMakeFiles/newtos_os.dir/stack.cc.o"
+  "CMakeFiles/newtos_os.dir/stack.cc.o.d"
+  "CMakeFiles/newtos_os.dir/syscall_server.cc.o"
+  "CMakeFiles/newtos_os.dir/syscall_server.cc.o.d"
+  "CMakeFiles/newtos_os.dir/tcp_server.cc.o"
+  "CMakeFiles/newtos_os.dir/tcp_server.cc.o.d"
+  "CMakeFiles/newtos_os.dir/udp_server.cc.o"
+  "CMakeFiles/newtos_os.dir/udp_server.cc.o.d"
+  "libnewtos_os.a"
+  "libnewtos_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newtos_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/newtos_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/newtos_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/logger.cc" "src/sim/CMakeFiles/newtos_sim.dir/logger.cc.o" "gcc" "src/sim/CMakeFiles/newtos_sim.dir/logger.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/sim/CMakeFiles/newtos_sim.dir/random.cc.o" "gcc" "src/sim/CMakeFiles/newtos_sim.dir/random.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/sim/CMakeFiles/newtos_sim.dir/simulation.cc.o" "gcc" "src/sim/CMakeFiles/newtos_sim.dir/simulation.cc.o.d"
+  "/root/repo/src/sim/time.cc" "src/sim/CMakeFiles/newtos_sim.dir/time.cc.o" "gcc" "src/sim/CMakeFiles/newtos_sim.dir/time.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

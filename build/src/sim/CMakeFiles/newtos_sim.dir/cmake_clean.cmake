@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newtos_sim.dir/event_queue.cc.o"
+  "CMakeFiles/newtos_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/newtos_sim.dir/logger.cc.o"
+  "CMakeFiles/newtos_sim.dir/logger.cc.o.d"
+  "CMakeFiles/newtos_sim.dir/random.cc.o"
+  "CMakeFiles/newtos_sim.dir/random.cc.o.d"
+  "CMakeFiles/newtos_sim.dir/simulation.cc.o"
+  "CMakeFiles/newtos_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/newtos_sim.dir/time.cc.o"
+  "CMakeFiles/newtos_sim.dir/time.cc.o.d"
+  "libnewtos_sim.a"
+  "libnewtos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newtos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

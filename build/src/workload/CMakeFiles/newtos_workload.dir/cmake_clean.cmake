@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newtos_workload.dir/httpd.cc.o"
+  "CMakeFiles/newtos_workload.dir/httpd.cc.o.d"
+  "CMakeFiles/newtos_workload.dir/iperf.cc.o"
+  "CMakeFiles/newtos_workload.dir/iperf.cc.o.d"
+  "CMakeFiles/newtos_workload.dir/ping.cc.o"
+  "CMakeFiles/newtos_workload.dir/ping.cc.o.d"
+  "CMakeFiles/newtos_workload.dir/udp_flood.cc.o"
+  "CMakeFiles/newtos_workload.dir/udp_flood.cc.o.d"
+  "libnewtos_workload.a"
+  "libnewtos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newtos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

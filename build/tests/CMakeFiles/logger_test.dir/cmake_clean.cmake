@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logger_test.dir/logger_test.cc.o"
+  "CMakeFiles/logger_test.dir/logger_test.cc.o.d"
+  "logger_test"
+  "logger_test.pdb"
+  "logger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monolithic_test.dir/monolithic_test.cc.o"
+  "CMakeFiles/monolithic_test.dir/monolithic_test.cc.o.d"
+  "monolithic_test"
+  "monolithic_test.pdb"
+  "monolithic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monolithic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_test.dir/nic_test.cc.o"
+  "CMakeFiles/nic_test.dir/nic_test.cc.o.d"
+  "nic_test"
+  "nic_test.pdb"
+  "nic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

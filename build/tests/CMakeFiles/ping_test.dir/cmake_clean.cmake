@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ping_test.dir/ping_test.cc.o"
+  "CMakeFiles/ping_test.dir/ping_test.cc.o.d"
+  "ping_test"
+  "ping_test.pdb"
+  "ping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poll_policy_test.dir/poll_policy_test.cc.o"
+  "CMakeFiles/poll_policy_test.dir/poll_policy_test.cc.o.d"
+  "poll_policy_test"
+  "poll_policy_test.pdb"
+  "poll_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poll_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

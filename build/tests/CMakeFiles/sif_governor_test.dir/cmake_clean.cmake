@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sif_governor_test.dir/sif_governor_test.cc.o"
+  "CMakeFiles/sif_governor_test.dir/sif_governor_test.cc.o.d"
+  "sif_governor_test"
+  "sif_governor_test.pdb"
+  "sif_governor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sif_governor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_channel_test.dir/sim_channel_test.cc.o"
+  "CMakeFiles/sim_channel_test.dir/sim_channel_test.cc.o.d"
+  "sim_channel_test"
+  "sim_channel_test.pdb"
+  "sim_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spsc_ring_test.dir/spsc_ring_test.cc.o"
+  "CMakeFiles/spsc_ring_test.dir/spsc_ring_test.cc.o.d"
+  "spsc_ring_test"
+  "spsc_ring_test.pdb"
+  "spsc_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spsc_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

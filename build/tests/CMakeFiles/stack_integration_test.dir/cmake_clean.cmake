@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_integration_test.dir/stack_integration_test.cc.o"
+  "CMakeFiles/stack_integration_test.dir/stack_integration_test.cc.o.d"
+  "stack_integration_test"
+  "stack_integration_test.pdb"
+  "stack_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steering_test.dir/steering_test.cc.o"
+  "CMakeFiles/steering_test.dir/steering_test.cc.o.d"
+  "steering_test"
+  "steering_test.pdb"
+  "steering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcp_fuzz_test.cc" "tests/CMakeFiles/tcp_fuzz_test.dir/tcp_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/tcp_fuzz_test.dir/tcp_fuzz_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/newtos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/newtos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/newtos_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/newtos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/newtos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/newtos_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/newtos_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/chan/CMakeFiles/newtos_chan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/newtos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

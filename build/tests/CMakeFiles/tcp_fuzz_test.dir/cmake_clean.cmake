@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_fuzz_test.dir/tcp_fuzz_test.cc.o"
+  "CMakeFiles/tcp_fuzz_test.dir/tcp_fuzz_test.cc.o.d"
+  "tcp_fuzz_test"
+  "tcp_fuzz_test.pdb"
+  "tcp_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_host_test.dir/tcp_host_test.cc.o"
+  "CMakeFiles/tcp_host_test.dir/tcp_host_test.cc.o.d"
+  "tcp_host_test"
+  "tcp_host_test.pdb"
+  "tcp_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

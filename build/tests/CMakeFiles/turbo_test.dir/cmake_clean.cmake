@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbo_test.dir/turbo_test.cc.o"
+  "CMakeFiles/turbo_test.dir/turbo_test.cc.o.d"
+  "turbo_test"
+  "turbo_test.pdb"
+  "turbo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
