@@ -1,0 +1,215 @@
+// Engine perf microbench: events/sec, packets/sec, and allocations/event.
+//
+// Runs the fig2-style bulk-TCP scenario (one iperf connection, dedicated
+// stack cores at base clock) for a fixed simulated window and reports how
+// fast the *host* executes it. A counting global allocator measures how many
+// heap allocations the engine performs per simulated event — the pooled
+// fast path must hold this at zero in steady state.
+//
+// Modes:
+//   (default)  full measurement window, prints a table and writes
+//              BENCH_engine.json at the repo root (override with --out PATH)
+//   --check    short window asserting allocations/event == 0 in steady
+//              state; exits non-zero on regression. Wired into ctest.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "src/core/steering.h"
+#include "src/core/testbed.h"
+#include "src/workload/iperf.h"
+
+// --- Counting allocator hook -----------------------------------------------
+// Replaces global operator new/delete for this binary only. Counts every
+// allocation; forwarding to malloc keeps behaviour identical.
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(align, (size + align - 1) / align * align);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace newtos {
+namespace {
+
+#ifndef NEWTOS_REPO_ROOT
+#define NEWTOS_REPO_ROOT "."
+#endif
+
+struct PerfResult {
+  uint64_t events = 0;
+  uint64_t packets = 0;
+  uint64_t allocs = 0;
+  uint64_t alloc_bytes = 0;
+  double wall_seconds = 0.0;
+  double goodput_gbps = 0.0;
+  double sim_window_ms = 0.0;
+
+  double events_per_sec() const { return static_cast<double>(events) / wall_seconds; }
+  double packets_per_sec() const { return static_cast<double>(packets) / wall_seconds; }
+  double allocs_per_event() const {
+    return events == 0 ? 0.0 : static_cast<double>(allocs) / static_cast<double>(events);
+  }
+};
+
+// The fig2 first sweep point: all cores at base clock, bulk TCP TX at line
+// rate. Steady state is pure engine churn: segments, ACKs, channel hops,
+// core work items, delayed-ACK timers.
+PerfResult MeasureEngine(SimTime window) {
+  TestbedOptions options;
+  Testbed tb(options);
+  DedicatedSlowPlan(*tb.stack(), 3'600'000 * kKhz, 3'600'000 * kKhz).Apply(tb.machine());
+
+  SocketApi* api = tb.stack()->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params sp;
+  sp.dst = tb.peer_addr();
+  IperfSender sender(api, sp);
+  IperfPeerSink sink(&tb.peer());
+  sender.Start();
+
+  // Warm-up: connection setup, slow start, and every pool/ring growing to
+  // its steady-state footprint.
+  tb.sim().RunFor(150 * kMillisecond);
+  sink.window().Reset(tb.sim().Now());
+
+  const Nic::Stats& nic = tb.machine().nic()->stats();
+  const uint64_t events0 = tb.sim().events_processed();
+  const uint64_t packets0 = nic.tx_packets + nic.rx_packets;
+  const uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const uint64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  tb.sim().RunFor(window);
+
+  const auto wall1 = std::chrono::steady_clock::now();
+  PerfResult r;
+  r.events = tb.sim().events_processed() - events0;
+  r.packets = nic.tx_packets + nic.rx_packets - packets0;
+  r.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+  r.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
+  r.wall_seconds = std::chrono::duration<double>(wall1 - wall0).count();
+  r.goodput_gbps = sink.window().GbitsPerSec(tb.sim().Now());
+  r.sim_window_ms = ToSeconds(window) * 1e3;
+  return r;
+}
+
+bool WriteJson(const PerfResult& r, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_engine: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"perf_engine\",\n"
+               "  \"scenario\": \"fig2_bulk_tx_base_clock\",\n"
+               "  \"sim_window_ms\": %.1f,\n"
+               "  \"events\": %llu,\n"
+               "  \"packets\": %llu,\n"
+               "  \"wall_seconds\": %.6f,\n"
+               "  \"events_per_sec\": %.0f,\n"
+               "  \"packets_per_sec\": %.0f,\n"
+               "  \"allocs\": %llu,\n"
+               "  \"alloc_bytes\": %llu,\n"
+               "  \"allocs_per_event\": %.6f,\n"
+               "  \"goodput_gbps\": %.3f\n"
+               "}\n",
+               r.sim_window_ms, static_cast<unsigned long long>(r.events),
+               static_cast<unsigned long long>(r.packets), r.wall_seconds, r.events_per_sec(),
+               r.packets_per_sec(), static_cast<unsigned long long>(r.allocs),
+               static_cast<unsigned long long>(r.alloc_bytes), r.allocs_per_event(),
+               r.goodput_gbps);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  bool check = false;
+  std::string out = std::string(NEWTOS_REPO_ROOT) + "/BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--check] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const SimTime window = check ? 50 * kMillisecond : 500 * kMillisecond;
+  const PerfResult r = MeasureEngine(window);
+
+  std::printf("perf_engine — fig2-style bulk TCP TX, %0.0f ms simulated window\n", r.sim_window_ms);
+  std::printf("  events            %12llu\n", static_cast<unsigned long long>(r.events));
+  std::printf("  packets           %12llu\n", static_cast<unsigned long long>(r.packets));
+  std::printf("  wall seconds      %12.4f\n", r.wall_seconds);
+  std::printf("  events/sec        %12.0f\n", r.events_per_sec());
+  std::printf("  packets/sec       %12.0f\n", r.packets_per_sec());
+  std::printf("  allocations       %12llu (%llu bytes)\n",
+              static_cast<unsigned long long>(r.allocs),
+              static_cast<unsigned long long>(r.alloc_bytes));
+  std::printf("  allocs/event      %12.6f\n", r.allocs_per_event());
+  std::printf("  goodput           %12.3f Gbit/s\n", r.goodput_gbps);
+
+  if (check) {
+    if (r.allocs != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu steady-state allocations (%.6f per event); the engine fast "
+                   "path must be allocation-free after warm-up\n",
+                   static_cast<unsigned long long>(r.allocs), r.allocs_per_event());
+      return 1;
+    }
+    std::printf("OK: steady state is allocation-free\n");
+    return 0;
+  }
+
+  return WriteJson(r, out) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace newtos
+
+int main(int argc, char** argv) { return newtos::Run(argc, argv); }

@@ -11,12 +11,12 @@
 #define SRC_CHAN_SIM_CHANNEL_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "src/sim/ring_deque.h"
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
 
@@ -96,7 +96,7 @@ class SimChannel {
   std::string name_;
   size_t capacity_;
   ChannelCostModel cost_;
-  std::deque<T> queue_;
+  RingDeque<T> queue_;
   std::function<void()> notify_;
   ChannelStats stats_;
 };

@@ -49,7 +49,7 @@ SimTime Core::EstimateCompletion(Cycles cycles) const {
   return start + CyclesToTime(cycles, op_.freq);
 }
 
-SimTime Core::Execute(Cycles cycles, std::function<void()> done) {
+SimTime Core::Execute(Cycles cycles, InlineCallback done) {
   assert(cycles >= 0);
   const SimTime completion = EstimateCompletion(cycles);
   busy_until_ = completion;
@@ -58,15 +58,21 @@ SimTime Core::Execute(Cycles cycles, std::function<void()> done) {
   busy_cycles_ += cycles;
   ++work_items_;
   UpdatePower();
-  sim_->ScheduleAt(completion, [this, done = std::move(done)]() {
-    --outstanding_;
-    assert(outstanding_ >= 0);
-    UpdatePower();
-    if (done) {
-      done();
-    }
-  });
+  completions_.push_back(std::move(done));
+  sim_->ScheduleAt(completion, [this] { OnWorkComplete(); });
   return completion;
+}
+
+void Core::OnWorkComplete() {
+  --outstanding_;
+  assert(outstanding_ >= 0);
+  UpdatePower();
+  // Pop before invoking: `done` may re-enter Execute() and push again.
+  InlineCallback done = std::move(completions_.front());
+  completions_.pop_front();
+  if (done) {
+    done();
+  }
 }
 
 void Core::SetIdleActivity(CoreActivity activity) {

@@ -17,12 +17,12 @@
 #define SRC_HW_CPU_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/hw/operating_point.h"
 #include "src/hw/power.h"
+#include "src/sim/ring_deque.h"
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
 
@@ -62,7 +62,7 @@ class Core {
 
   // Queues `cycles` of work; `done` fires when it completes. Work is serial
   // and FIFO. Returns the scheduled completion time.
-  SimTime Execute(Cycles cycles, std::function<void()> done);
+  SimTime Execute(Cycles cycles, InlineCallback done);
 
   // Completion time the next Execute() call would get, without queueing.
   SimTime EstimateCompletion(Cycles cycles) const;
@@ -116,6 +116,9 @@ class Core {
 
  private:
   void UpdatePower();
+  // Fires when the oldest queued work item finishes: pops its completion
+  // callback off `completions_` and invokes it.
+  void OnWorkComplete();
 
   Simulation* sim_;
   const int id_;
@@ -131,6 +134,13 @@ class Core {
 
   SimTime busy_until_ = 0;
   int outstanding_ = 0;
+  // Completion callbacks for queued work, in FIFO order. Completions are
+  // scheduled at busy_until_, which is monotone per core, and same-instant
+  // events fire in schedule order, so the event for the Nth queued item
+  // always pops the Nth callback. Keeping the callback here (rather than
+  // capturing it in the scheduled lambda) keeps the event capture tiny and
+  // avoids nesting one InlineCallback inside another.
+  RingDeque<InlineCallback> completions_;
   const void* last_tenant_ = nullptr;
   uint64_t tenant_switches_ = 0;
 

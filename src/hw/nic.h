@@ -12,12 +12,12 @@
 #define SRC_HW_NIC_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 
 #include "src/net/packet.h"
 #include "src/sim/random.h"
+#include "src/sim/ring_deque.h"
 #include "src/sim/simulation.h"
 
 namespace newtos {
@@ -103,8 +103,8 @@ class Nic {
   double loss_prob_ = 0.0;
   Rng loss_rng_;
 
-  std::deque<PacketPtr> tx_ring_;
-  std::deque<PacketPtr> rx_ring_;
+  RingDeque<PacketPtr> tx_ring_;
+  RingDeque<PacketPtr> rx_ring_;
   bool tx_in_progress_ = false;
   std::function<void()> rx_notify_;
   std::function<void(TapDirection, const PacketPtr&)> tap_;

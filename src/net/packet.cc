@@ -1,14 +1,10 @@
 #include "src/net/packet.h"
 
-#include <atomic>
 #include <cstdio>
 
+#include "src/net/packet_pool.h"
+
 namespace newtos {
-namespace {
-
-std::atomic<uint64_t> g_next_packet_id{1};
-
-}  // namespace
 
 std::string Ipv4ToString(Ipv4Addr addr) {
   char buf[16];
@@ -17,11 +13,7 @@ std::string Ipv4ToString(Ipv4Addr addr) {
   return buf;
 }
 
-PacketPtr MakePacket() {
-  auto p = std::make_shared<Packet>();
-  p->id = g_next_packet_id.fetch_add(1, std::memory_order_relaxed);
-  return p;
-}
+PacketPtr MakePacket() { return PacketPool::Default().Make(); }
 
 std::string Packet::ToString() const {
   char buf[160];

@@ -146,7 +146,8 @@ struct Packet {
 
 using PacketPtr = std::shared_ptr<Packet>;
 
-// Allocates a packet with a fresh id.
+// Allocates a packet with a fresh id, recycled from PacketPool::Default()
+// (see src/net/packet_pool.h): in steady state this touches no allocator.
 PacketPtr MakePacket();
 
 // A 4-tuple identifying one direction of a connection.

@@ -1,0 +1,128 @@
+#include "src/net/packet_pool.h"
+
+#include <cassert>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace newtos {
+namespace {
+
+// Global packet id counter (moved here from packet.cc): ids stay unique and
+// sequential across every pool, preserving trace/pcap determinism.
+std::atomic<uint64_t> g_next_packet_id{1};
+
+}  // namespace
+
+PacketPool::~PacketPool() {
+  // Only the freelist is owned here; outstanding packets must not exist
+  // (guaranteed for Default(), which leaks; required of test-local pools).
+  while (free_head_ != nullptr) {
+    FreeNode* next = free_head_->next;
+    ::operator delete(free_head_);
+    free_head_ = next;
+  }
+}
+
+void PacketPool::Lock() const {
+  while (lock_.test_and_set(std::memory_order_acquire)) {
+  }
+}
+
+void PacketPool::Unlock() const { lock_.clear(std::memory_order_release); }
+
+void* PacketPool::AllocBlock(size_t bytes) {
+  Lock();
+  if (block_bytes_ == 0) {
+    block_bytes_ = bytes;
+  }
+  if (bytes == block_bytes_ && free_head_ != nullptr) {
+    FreeNode* node = free_head_;
+    free_head_ = node->next;
+    --free_count_;
+    if (!reserving_) {
+      ++stats_.recycled;
+      ++stats_.outstanding;
+      if (stats_.outstanding > stats_.high_water) {
+        stats_.high_water = stats_.outstanding;
+      }
+    }
+    Unlock();
+    return node;
+  }
+  if (!reserving_) {
+    ++stats_.fresh_allocations;
+    ++stats_.outstanding;
+    if (stats_.outstanding > stats_.high_water) {
+      stats_.high_water = stats_.outstanding;
+    }
+  }
+  Unlock();
+  return ::operator new(bytes);
+}
+
+void PacketPool::FreeBlock(void* p, size_t bytes) {
+  Lock();
+  if (!reserving_) {
+    assert(stats_.outstanding > 0);
+    --stats_.outstanding;
+  }
+  if (bytes == block_bytes_) {
+    FreeNode* node = static_cast<FreeNode*>(p);
+    node->next = free_head_;
+    free_head_ = node;
+    ++free_count_;
+    Unlock();
+    return;
+  }
+  Unlock();
+  ::operator delete(p);
+}
+
+PacketPtr PacketPool::Make() {
+  PacketPtr p = std::allocate_shared<Packet>(Recycler<Packet>(this));
+  p->id = g_next_packet_id.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void PacketPool::Reserve(size_t n) {
+  Lock();
+  const size_t have = free_count_;
+  reserving_ = true;
+  Unlock();
+  if (have < n) {
+    // Hold `n` live packets simultaneously (the first `have` come off the
+    // existing freelist), then drop them: every block lands on the freelist,
+    // leaving exactly >= n free. Ids are untouched (assigned only by Make())
+    // and stats are suppressed by `reserving_`.
+    std::vector<PacketPtr> tmp;
+    tmp.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      tmp.push_back(std::allocate_shared<Packet>(Recycler<Packet>(this)));
+    }
+  }
+  Lock();
+  reserving_ = false;
+  Unlock();
+}
+
+PacketPool::Stats PacketPool::stats() const {
+  Lock();
+  Stats s = stats_;
+  Unlock();
+  return s;
+}
+
+size_t PacketPool::free_blocks() const {
+  Lock();
+  size_t n = free_count_;
+  Unlock();
+  return n;
+}
+
+PacketPool& PacketPool::Default() {
+  static PacketPool* pool = new PacketPool;  // leaked: see header comment
+  return *pool;
+}
+
+}  // namespace newtos

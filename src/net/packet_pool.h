@@ -1,0 +1,107 @@
+// PacketPool: recycles the shared_ptr<Packet> control-block+payload
+// allocation.
+//
+// Packets are the highest-volume heap object in the simulator: every
+// segment, ACK and datagram is a fresh `std::make_shared<Packet>` that dies
+// within a few microseconds of simulated time. The pool allocates packets
+// with std::allocate_shared and a freelist-backed allocator, so the fused
+// (control block + Packet) allocation is returned to the pool — not to
+// malloc — when the last reference drops, and the next MakePacket() reuses
+// it. Once the pool has grown to the workload's in-flight high-water mark,
+// packet creation touches no allocator at all.
+//
+// Packet ids stay globally unique and sequential (the same counter the
+// un-pooled MakePacket used), so traces and pcap captures are unaffected.
+//
+// The Default() pool is intentionally leaked (packets may legally outlive
+// every static destructor). Pool objects created locally in tests must
+// outlive every packet they produced.
+
+#ifndef SRC_NET_PACKET_POOL_H_
+#define SRC_NET_PACKET_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/net/packet.h"
+
+namespace newtos {
+
+class PacketPool {
+ public:
+  struct Stats {
+    uint64_t fresh_allocations = 0;  // blocks obtained from the system heap
+    uint64_t recycled = 0;           // Make() calls served from the freelist
+    uint64_t outstanding = 0;        // live packets right now
+    uint64_t high_water = 0;         // max simultaneous live packets
+  };
+
+  PacketPool() = default;
+  ~PacketPool();
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  // Allocates (or recycles) a zero-initialized packet with a fresh id.
+  PacketPtr Make();
+
+  // Pre-grows the freelist to at least `n` blocks so the first `n` in-flight
+  // packets never hit the system heap. Does not consume packet ids and does
+  // not count toward outstanding/high_water.
+  void Reserve(size_t n);
+
+  Stats stats() const;
+
+  // Number of recycled blocks currently waiting on the freelist.
+  size_t free_blocks() const;
+
+  // The process-wide pool used by MakePacket(). Never destroyed.
+  static PacketPool& Default();
+
+ private:
+  // Minimal C++17 allocator handing out fixed-size blocks from the pool's
+  // freelist. allocate_shared rebinds it to its internal combined type, so
+  // every allocation through one pool has the same size.
+  template <typename T>
+  struct Recycler {
+    using value_type = T;
+    PacketPool* pool;
+
+    explicit Recycler(PacketPool* p) : pool(p) {}
+    template <typename U>
+    Recycler(const Recycler<U>& other) : pool(other.pool) {}  // NOLINT
+
+    T* allocate(size_t n) { return static_cast<T*>(pool->AllocBlock(n * sizeof(T))); }
+    void deallocate(T* p, size_t n) { pool->FreeBlock(p, n * sizeof(T)); }
+
+    template <typename U>
+    bool operator==(const Recycler<U>& other) const {
+      return pool == other.pool;
+    }
+    template <typename U>
+    bool operator!=(const Recycler<U>& other) const {
+      return pool != other.pool;
+    }
+  };
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  void* AllocBlock(size_t bytes);
+  void FreeBlock(void* p, size_t bytes);
+  void Lock() const;
+  void Unlock() const;
+
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  FreeNode* free_head_ = nullptr;
+  size_t free_count_ = 0;
+  size_t block_bytes_ = 0;  // learned on the first allocation
+  bool reserving_ = false;  // suppresses stats while Reserve() cycles blocks
+  Stats stats_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_NET_PACKET_POOL_H_

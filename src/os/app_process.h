@@ -10,11 +10,11 @@
 #define SRC_OS_APP_PROCESS_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 
 #include "src/os/server.h"
+#include "src/sim/ring_deque.h"
 
 namespace newtos {
 
@@ -71,7 +71,7 @@ class AppProcess : public Server {
   Behavior behavior_;
   Chan* events_in_ = nullptr;
   Chan* req_out_ = nullptr;
-  std::deque<Msg> pending_req_;
+  RingDeque<Msg> pending_req_;
   uint32_t app_id_ = 0;
   uint64_t next_handle_ = 1;
   uint64_t requests_sent_ = 0;

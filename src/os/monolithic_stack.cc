@@ -272,7 +272,13 @@ void MonolithicStack::Api::Close(uint64_t handle) {
 void MonolithicStack::Api::Compute(Cycles cycles, std::function<void()> then) {
   Core* core = stack_->core();
   assert(core != nullptr);
-  core->Execute(cycles, std::move(then));
+  // A null continuation must become an *empty* callback, not a wrapped null
+  // std::function (which would look engaged and throw when invoked).
+  if (then) {
+    core->Execute(cycles, std::move(then));
+  } else {
+    core->Execute(cycles, InlineCallback());
+  }
 }
 
 Simulation* MonolithicStack::Api::sim() { return stack_->sim(); }

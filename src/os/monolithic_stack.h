@@ -16,7 +16,6 @@
 #define SRC_OS_MONOLITHIC_STACK_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -27,6 +26,7 @@
 #include "src/os/costs.h"
 #include "src/os/server.h"
 #include "src/os/socket_api.h"
+#include "src/sim/ring_deque.h"
 
 namespace newtos {
 
@@ -97,9 +97,9 @@ class MonolithicStack : public Server {
   Nic* nic_;
 
   std::unique_ptr<TcpHost> host_;
-  std::deque<PacketPtr> pending_tx_;
-  std::deque<Msg> pending_evt_;
-  std::deque<Msg> pending_req_;
+  RingDeque<PacketPtr> pending_tx_;
+  RingDeque<Msg> pending_evt_;
+  RingDeque<Msg> pending_req_;
 
   std::vector<std::unique_ptr<Api>> apis_;
   std::vector<std::function<void(const Msg&)>> handlers_;

@@ -113,26 +113,30 @@ void Server::MaybeSchedule() {
   // Drain a burst from the chosen source into one core work item: the cycle
   // costs add up per message, but tenant-switch pollution is paid once per
   // burst — exactly how batched poll loops amortize co-location.
-  std::vector<Msg> batch;
+  assert(batch_.empty());
   Cycles cost = 0;
   for (int n = 0; n < source_batch_limit_ && src->has_work(); ++n) {
     Msg msg = src->take();
     cost += src->overhead_cycles + CostFor(msg);
-    batch.push_back(std::move(msg));
+    batch_.push_back(std::move(msg));
   }
   if (core_->SetTenant(this)) {
     cost += tenant_switch_cycles_;
     core_->CountTenantSwitch();
   }
   const uint64_t gen = generation_;
-  core_->Execute(cost, [this, gen, batch = std::move(batch)]() {
+  core_->Execute(cost, [this, gen]() {
     if (gen != generation_) {
       return;  // the server crashed (and possibly restarted) mid-flight
     }
-    for (const Msg& msg : batch) {
+    // Swap into the scratch buffer before handling: a crash inside Handle()
+    // clears batch_ but must not disturb the burst being iterated.
+    executing_.swap(batch_);
+    for (const Msg& msg : executing_) {
       ++messages_processed_;
       Handle(msg);
     }
+    executing_.clear();
     processing_ = false;
     MaybeSchedule();
   });
@@ -146,6 +150,10 @@ void Server::Crash() {
   crashed_ = true;
   ++generation_;  // invalidates the in-flight completion, if any
   processing_ = false;
+  // The burst waiting on the core dies with the address space. It was never
+  // counted as processed, and (matching the old capture-by-value behaviour)
+  // it is not counted as lost_to_crash either — only queued input is.
+  batch_.clear();
   for (auto& ch : owned_inputs_) {
     while (auto m = ch->Pop()) {
       ++messages_lost_to_crash_;

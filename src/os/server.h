@@ -135,6 +135,13 @@ class Server {
   int source_batch_limit_ = 16;
 
   Cycles tenant_switch_cycles_ = 250;
+  // Burst buffers for MaybeSchedule: `batch_` is the burst waiting on the
+  // core, `executing_` the one whose Handle() calls are running. Members
+  // (not per-burst locals) so their capacity is reused forever — at most one
+  // burst is in flight per server (guarded by processing_), and keeping them
+  // out of the completion capture keeps that capture at two words.
+  std::vector<Msg> batch_;
+  std::vector<Msg> executing_;
   bool processing_ = false;
   bool crashed_ = false;
   uint64_t generation_ = 0;

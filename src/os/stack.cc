@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/net/packet_pool.h"
+
 namespace newtos {
 
 MultiserverStack::MultiserverStack(Simulation* sim, Machine* machine, const StackConfig& config)
@@ -13,6 +15,9 @@ MultiserverStack::MultiserverStack(Simulation* sim, Machine* machine, const Stac
   if (config_.tcp_shards > 1) {
     config_.use_syscall_gateway = true;  // sharding requires the routing gateway
   }
+
+  sim_->ReserveEvents(config_.event_reserve);
+  PacketPool::Default().Reserve(config_.packet_reserve);
 
   driver_ = std::make_unique<DriverServer>(sim_, machine_->nic(), config_.driver, cap, cc);
   ip_ = std::make_unique<IpServer>(sim_, config_.addr, config_.ip, cap, cc);

@@ -53,6 +53,12 @@ struct StackConfig {
   size_t chan_capacity = 1024;
   ChannelCostModel chan_cost;
 
+  // Pre-sizing hints for the engine's pooled fast path: the event queue and
+  // the process-wide packet pool are reserved to these high-water marks when
+  // the stack is built, so steady-state traffic never regrows either.
+  size_t event_reserve = 4096;
+  size_t packet_reserve = 4096;
+
   // Cold-cache penalty when co-located servers alternate on one core.
   Cycles tenant_switch_cycles = 250;
 

@@ -21,7 +21,6 @@
 #define SRC_OS_TCP_SERVER_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -30,6 +29,7 @@
 #include "src/net/tcp_host.h"
 #include "src/os/costs.h"
 #include "src/os/server.h"
+#include "src/sim/ring_deque.h"
 
 namespace newtos {
 
@@ -105,8 +105,8 @@ class TcpServer : public Server {
   Chan* ip_tx_ = nullptr;
 
   std::unique_ptr<TcpHost> host_;
-  std::deque<PacketPtr> pending_tx_;
-  std::deque<Msg> pending_evt_;
+  RingDeque<PacketPtr> pending_tx_;
+  RingDeque<Msg> pending_evt_;
 
   std::vector<Chan*> apps_;  // index = app id
   std::unordered_map<SockId, TcpConnection*, SockIdHash> by_sock_;

@@ -8,7 +8,6 @@
 #define SRC_OS_UDP_SERVER_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +15,7 @@
 #include "src/net/udp.h"
 #include "src/os/costs.h"
 #include "src/os/server.h"
+#include "src/sim/ring_deque.h"
 
 namespace newtos {
 
@@ -58,8 +58,8 @@ class UdpServer : public Server {
   Chan* ip_tx_ = nullptr;
 
   std::unique_ptr<UdpHost> host_;
-  std::deque<PacketPtr> pending_tx_;
-  std::deque<Msg> pending_evt_;
+  RingDeque<PacketPtr> pending_tx_;
+  RingDeque<Msg> pending_evt_;
   std::vector<Chan*> apps_;
   std::vector<Binding> bindings_;  // recovery set
   std::unordered_map<uint64_t, Binding> by_handle_;  // handle -> binding

@@ -1,54 +1,45 @@
 #include "src/sim/event_queue.h"
 
-#include <cassert>
-
 namespace newtos {
 
 bool EventHandle::Cancel() {
-  if (!state_ || state_->fired || state_->cancelled) {
+  if (!pool_) {
     return false;
   }
-  state_->cancelled = true;
+  EventSlotPool::Slot& s = pool_->slots[index_];
+  if (s.gen != gen_ || s.cancelled) {
+    return false;  // already fired/discarded (slot recycled) or cancelled
+  }
+  s.cancelled = true;
+  ++pool_->cancelled_in_heap;
   return true;
 }
 
-bool EventHandle::pending() const { return state_ && !state_->fired && !state_->cancelled; }
-
-EventHandle EventQueue::Push(SimTime when, std::function<void()> fn) {
-  auto state = std::make_shared<EventHandle::State>();
-  heap_.push(Entry{when, next_seq_++, std::move(fn), state});
-  return EventHandle(std::move(state));
-}
-
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && heap_.top().state->cancelled) {
-    heap_.pop();
+bool EventHandle::pending() const {
+  if (!pool_) {
+    return false;
   }
+  const EventSlotPool::Slot& s = pool_->slots[index_];
+  return s.gen == gen_ && !s.cancelled;
 }
 
-bool EventQueue::Empty() {
-  SkipCancelled();
-  return heap_.empty();
+void EventQueue::Compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) {
+                               if (!pool_->slots[e.slot].cancelled) {
+                                 return false;
+                               }
+                               pool_->Release(e.slot);  // also clears `cancelled`
+                               return true;
+                             }),
+              heap_.end());
+  pool_->cancelled_in_heap = 0;
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
-SimTime EventQueue::NextTime() {
-  SkipCancelled();
-  assert(!heap_.empty());
-  return heap_.top().when;
-}
-
-std::pair<SimTime, std::function<void()>> EventQueue::Pop() {
-  SkipCancelled();
-  assert(!heap_.empty());
-  // priority_queue::top() is const; the callback must be moved out, so cast
-  // away constness of the entry we are about to pop. This is the standard
-  // idiom for move-out-of-priority_queue and is safe because pop() follows
-  // immediately.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  auto result = std::make_pair(top.when, std::move(top.fn));
-  top.state->fired = true;
-  heap_.pop();
-  return result;
+void EventQueue::Reserve(size_t n) {
+  heap_.reserve(n);
+  pool_->slots.reserve(n);
 }
 
 }  // namespace newtos

@@ -1,26 +1,100 @@
-// A cancellable, deterministic discrete-event queue.
+// A cancellable, deterministic discrete-event queue with an allocation-free
+// steady state.
 //
 // Events scheduled for the same instant fire in the order they were scheduled
 // (FIFO tie-break on a monotonically increasing sequence number), which makes
 // every simulation in this project bit-for-bit reproducible.
+//
+// Fast-path design (PR 2): the heap holds small POD entries {when, seq,
+// slot}; the callback and cancellation state live in a slab-allocated,
+// generation-counted slot pool. Pushing an event acquires a recycled slot
+// (no allocation once the pool has grown to the workload's high-water mark),
+// and an EventHandle is just {pool, slot index, generation} — cancelling
+// flips a bit in the slot, and a stale handle (its slot was recycled after
+// the event fired or was discarded) is detected by a generation mismatch.
+// Cancelled entries are lazily skipped at the top of the heap and eagerly
+// compacted away whenever they outnumber the live entries, so heavy timer
+// churn (e.g. tab5_conn_churn) cannot grow the heap without bound.
+//
+// The hot methods are defined inline below the class so the simulator's run
+// loop compiles down to direct heap manipulation with no call overhead.
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <utility>
 #include <vector>
 
+#include "src/sim/inline_callback.h"
 #include "src/sim/time.h"
 
 namespace newtos {
 
+// Slab of per-event state shared between the queue and its handles. Kept
+// alive by an intrusive, *non-atomic* refcount (the simulator is
+// single-threaded by design), so handles stay safe (inert) even if they
+// outlive the queue without paying shared_ptr's atomic ops on every Push.
+struct EventSlotPool {
+  static constexpr uint32_t kNil = 0xffffffff;
+
+  struct Slot {
+    InlineCallback fn;
+    uint32_t gen = 0;
+    uint32_t next_free = kNil;
+    bool cancelled = false;
+  };
+
+  std::vector<Slot> slots;
+  uint32_t free_head = kNil;
+  // Cancelled entries still occupying the heap; drives eager compaction.
+  size_t cancelled_in_heap = 0;
+  uint32_t refcount = 0;  // managed by PoolRef only
+
+  uint32_t Acquire(InlineCallback fn);
+  // Destroys the slot's callback, bumps the generation (invalidating every
+  // outstanding handle to it) and recycles the index.
+  void Release(uint32_t index);
+};
+
+// Intrusive smart pointer for EventSlotPool (see refcount comment above).
+class PoolRef {
+ public:
+  PoolRef() = default;
+  explicit PoolRef(EventSlotPool* pool) : p_(pool) {
+    if (p_ != nullptr) {
+      ++p_->refcount;
+    }
+  }
+  PoolRef(const PoolRef& other) : p_(other.p_) {
+    if (p_ != nullptr) {
+      ++p_->refcount;
+    }
+  }
+  PoolRef(PoolRef&& other) noexcept : p_(other.p_) { other.p_ = nullptr; }
+  PoolRef& operator=(PoolRef other) noexcept {
+    std::swap(p_, other.p_);
+    return *this;
+  }
+  ~PoolRef() {
+    if (p_ != nullptr && --p_->refcount == 0) {
+      delete p_;
+    }
+  }
+
+  EventSlotPool* operator->() const { return p_; }
+  EventSlotPool& operator*() const { return *p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+
+ private:
+  EventSlotPool* p_ = nullptr;
+};
+
 // Handle to a scheduled event; allows cancellation. Default-constructed
-// handles are inert. Handles are cheap to copy (shared ownership of a small
-// control block).
+// handles are inert. Handles are cheap to copy (shared ownership of the
+// queue's slot pool plus an index/generation pair).
 class EventHandle {
  public:
   EventHandle() = default;
@@ -34,28 +108,33 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(const PoolRef& pool, uint32_t index, uint32_t gen)
+      : pool_(pool), index_(index), gen_(gen) {}
+
+  PoolRef pool_;
+  uint32_t index_ = 0;
+  uint32_t gen_ = 0;
 };
 
 // Min-heap of timed callbacks. Not thread-safe: the simulator is
 // single-threaded by design.
+//
+// Accessor contract: Empty(), NextTime() and Pop() are all self-compacting —
+// each discards cancelled entries from the top of the heap first, so they
+// may be called in any order (there is no hidden precondition that Empty()
+// ran first). NextTime()/Pop() still require a live event to exist, i.e.
+// !Empty().
 class EventQueue {
  public:
-  EventQueue() = default;
+  EventQueue() : pool_(new EventSlotPool) {}
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   // Enqueues `fn` to fire at absolute time `when`. `when` may be in the past
   // relative to other queued events; ordering is purely by (when, seq).
-  EventHandle Push(SimTime when, std::function<void()> fn);
+  EventHandle Push(SimTime when, InlineCallback fn);
 
-  // True if no live (uncancelled) events remain. May lazily discard cancelled
-  // entries at the top of the heap.
+  // True if no live (uncancelled) events remain.
   bool Empty();
 
   // Time of the earliest live event. Precondition: !Empty().
@@ -63,22 +142,32 @@ class EventQueue {
 
   // Removes and returns the earliest live event's callback, along with its
   // time. Precondition: !Empty().
-  std::pair<SimTime, std::function<void()>> Pop();
+  std::pair<SimTime, InlineCallback> Pop();
+
+  // Pre-sizes the heap and the slot pool so a run whose concurrent-event
+  // high-water mark stays under `n` never regrows either mid-run.
+  void Reserve(size_t n);
 
   // Number of entries currently held, including not-yet-discarded cancelled
   // ones. For tests and diagnostics.
   size_t RawSize() const { return heap_.size(); }
 
+  // Number of live (uncancelled) events. RawSize() - LiveSize() is the
+  // cancelled backlog awaiting lazy discard or compaction.
+  size_t LiveSize() const { return heap_.size() - pool_->cancelled_in_heap; }
+
   // Total number of events ever pushed.
   uint64_t pushed() const { return next_seq_; }
 
  private:
+  // Heap entries are trivially copyable; sifting moves 24-byte PODs.
   struct Entry {
     SimTime when;
     uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
+    uint32_t slot;
   };
+  // Comparator for std::push_heap/pop_heap: "later fires lower", so the
+  // front of the vector is the earliest (when, seq).
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) {
@@ -90,10 +179,85 @@ class EventQueue {
 
   // Drops cancelled entries from the top of the heap.
   void SkipCancelled();
+  // Removes every cancelled entry and re-heapifies. Pop order is unaffected:
+  // (when, seq) is a total order, so the rebuilt heap pops identically.
+  void Compact();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> heap_;
+  PoolRef pool_;
   uint64_t next_seq_ = 0;
 };
+
+// --- Hot-path inline definitions ---
+
+inline uint32_t EventSlotPool::Acquire(InlineCallback fn) {
+  uint32_t index;
+  if (free_head != kNil) {
+    index = free_head;
+    Slot& s = slots[index];
+    free_head = s.next_free;
+    s.next_free = kNil;
+    assert(!s.cancelled && !s.fn);
+    s.fn = std::move(fn);
+  } else {
+    index = static_cast<uint32_t>(slots.size());
+    Slot& s = slots.emplace_back();
+    s.fn = std::move(fn);
+  }
+  return index;
+}
+
+inline void EventSlotPool::Release(uint32_t index) {
+  Slot& s = slots[index];
+  s.fn = InlineCallback();
+  s.cancelled = false;
+  ++s.gen;  // every outstanding handle to this slot is now stale
+  s.next_free = free_head;
+  free_head = index;
+}
+
+inline EventHandle EventQueue::Push(SimTime when, InlineCallback fn) {
+  // Eager compaction: when cancelled entries outnumber live ones, sweep them
+  // out instead of letting heavy timer churn grow the heap without bound.
+  if (pool_->cancelled_in_heap > heap_.size() / 2 && heap_.size() >= 64) {
+    Compact();
+  }
+  const uint32_t slot = pool_->Acquire(std::move(fn));
+  heap_.push_back(Entry{when, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return EventHandle(pool_, slot, pool_->slots[slot].gen);
+}
+
+inline void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && pool_->slots[heap_.front().slot].cancelled) {
+    --pool_->cancelled_in_heap;
+    pool_->Release(heap_.front().slot);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+inline bool EventQueue::Empty() {
+  SkipCancelled();
+  return heap_.empty();
+}
+
+inline SimTime EventQueue::NextTime() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  return heap_.front().when;
+}
+
+inline std::pair<SimTime, InlineCallback> EventQueue::Pop() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  const Entry e = heap_.back();
+  heap_.pop_back();
+  InlineCallback fn = std::move(pool_->slots[e.slot].fn);
+  pool_->Release(e.slot);  // marks the event fired (handles go stale)
+  return {e.when, std::move(fn)};
+}
 
 }  // namespace newtos
 

@@ -1,0 +1,90 @@
+// RingDeque: a vector-backed circular FIFO that never allocates in steady
+// state.
+//
+// std::deque allocates and frees a fixed-size chunk every time the head or
+// tail crosses a chunk boundary, so a steady push/pop cycle — a NIC ring, a
+// server input channel, a pending-TX queue — performs one malloc/free pair
+// every few dozen operations forever. RingDeque grows by doubling and never
+// shrinks: once a queue has seen its high-water mark, pushes and pops touch
+// no allocator at all. Elements must be default-constructible and movable
+// (slots are reset to a default-constructed value on pop so held resources,
+// e.g. a packet refcount, release immediately).
+
+#ifndef SRC_SIM_RING_DEQUE_H_
+#define SRC_SIM_RING_DEQUE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace newtos {
+
+template <typename T>
+class RingDeque {
+ public:
+  RingDeque() = default;
+  explicit RingDeque(size_t initial_capacity) { reserve(initial_capacity); }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return buf_.size(); }
+
+  void reserve(size_t n) {
+    if (n > buf_.size()) {
+      Regrow(n);
+    }
+  }
+
+  void push_back(T v) {
+    if (size_ == buf_.size()) {
+      Regrow(size_ == 0 ? kInitialCapacity : size_ * 2);
+    }
+    buf_[(head_ + size_) % buf_.size()] = std::move(v);
+    ++size_;
+  }
+
+  T& front() {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+  const T& front() const {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    buf_[head_] = T();  // release held resources now, keep the slot
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+  }
+
+  // Drops all elements (releasing their resources); capacity is kept.
+  void clear() {
+    while (size_ > 0) {
+      pop_front();
+    }
+    head_ = 0;
+  }
+
+ private:
+  static constexpr size_t kInitialCapacity = 16;
+
+  void Regrow(size_t n) {
+    std::vector<T> next(n < kInitialCapacity ? kInitialCapacity : n);
+    for (size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) % buf_.size()]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_SIM_RING_DEQUE_H_

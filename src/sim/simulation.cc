@@ -5,20 +5,6 @@
 
 namespace newtos {
 
-EventHandle Simulation::Schedule(SimTime delay, std::function<void()> fn) {
-  if (delay < 0) {
-    delay = 0;
-  }
-  return queue_.Push(now_ + delay, std::move(fn));
-}
-
-EventHandle Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
-  if (when < now_) {
-    when = now_;
-  }
-  return queue_.Push(when, std::move(fn));
-}
-
 void Simulation::Step() {
   auto [when, fn] = queue_.Pop();
   assert(when >= now_ && "event queue went backwards in time");

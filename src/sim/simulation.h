@@ -9,7 +9,6 @@
 #define SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
-#include <functional>
 
 #include "src/sim/event_queue.h"
 #include "src/sim/time.h"
@@ -27,10 +26,24 @@ class Simulation {
 
   // Schedules `fn` to run `delay` from now. Negative delays clamp to zero
   // (fire "immediately", after already-queued events at the current instant).
-  EventHandle Schedule(SimTime delay, std::function<void()> fn);
+  EventHandle Schedule(SimTime delay, InlineCallback fn) {
+    if (delay < 0) {
+      delay = 0;
+    }
+    return queue_.Push(now_ + delay, std::move(fn));
+  }
 
   // Schedules `fn` at absolute time `when`; clamps to Now() if in the past.
-  EventHandle ScheduleAt(SimTime when, std::function<void()> fn);
+  EventHandle ScheduleAt(SimTime when, InlineCallback fn) {
+    if (when < now_) {
+      when = now_;
+    }
+    return queue_.Push(when, std::move(fn));
+  }
+
+  // Pre-sizes the event queue for a known concurrent-event high-water mark,
+  // avoiding mid-run regrowth. Safe to call at any time.
+  void ReserveEvents(size_t n) { queue_.Reserve(n); }
 
   // Runs until the queue is empty or Stop() is called. Returns the number of
   // events processed by this call.

@@ -1,0 +1,123 @@
+// Determinism regression: the repo's core invariant is that every simulation
+// is bit-for-bit reproducible. These tests run short fig2-style scenarios
+// twice and compare full trace hashes, and also compare against checked-in
+// golden hashes so that any engine change that reorders events, alters
+// timer behaviour, or perturbs protocol dynamics fails loudly.
+//
+// The goldens were captured from the seed engine (PR 1). An engine change
+// that is supposed to be behaviour-preserving (e.g. a faster event queue)
+// must reproduce them exactly. If a change is *intended* to alter event
+// ordering, update the goldens in the same commit and say why.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/core/steering.h"
+#include "src/core/testbed.h"
+#include "src/workload/iperf.h"
+
+namespace newtos {
+namespace {
+
+// FNV-1a over a stream of integers: order-sensitive, so any reordering of
+// the folded quantities changes the hash.
+class TraceHasher {
+ public:
+  void Fold(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  uint64_t hash() const { return h_; }
+
+ private:
+  uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+// Runs a bulk-TCP transmit scenario and hashes every integer observable the
+// engine influences: event counts, NIC counters on both ends, delivered
+// bytes, and TCP protocol statistics.
+uint64_t BulkTraceHash(FreqKhz stack_freq, double loss) {
+  TestbedOptions options;
+  options.link_loss = loss;
+  Testbed tb(options);
+  DedicatedSlowPlan(*tb.stack(), stack_freq, 3'600'000 * kKhz).Apply(tb.machine());
+
+  SocketApi* api = tb.stack()->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params sp;
+  sp.dst = tb.peer_addr();
+  IperfSender sender(api, sp);
+  IperfPeerSink sink(&tb.peer());
+  sender.Start();
+
+  tb.sim().RunFor(60 * kMillisecond);
+
+  TraceHasher h;
+  h.Fold(static_cast<uint64_t>(tb.sim().Now()));
+  h.Fold(tb.sim().events_processed());
+  const Nic::Stats& sut = tb.machine().nic()->stats();
+  h.Fold(sut.tx_packets);
+  h.Fold(sut.tx_bytes);
+  h.Fold(sut.rx_packets);
+  h.Fold(sut.rx_bytes);
+  h.Fold(sut.rx_ring_drops);
+  h.Fold(sut.link_loss_drops);
+  const Nic::Stats& peer = tb.peer().nic()->stats();
+  h.Fold(peer.tx_packets);
+  h.Fold(peer.tx_bytes);
+  h.Fold(peer.rx_packets);
+  h.Fold(peer.rx_bytes);
+  h.Fold(peer.link_loss_drops);
+  h.Fold(sink.total_bytes());
+  h.Fold(sender.bytes_submitted());
+  for (TcpConnection* c : tb.peer().tcp().Connections()) {
+    const TcpStats& s = c->stats();
+    h.Fold(s.segs_sent);
+    h.Fold(s.segs_rcvd);
+    h.Fold(s.bytes_received);
+    h.Fold(s.retransmits);
+    h.Fold(s.timeouts);
+    h.Fold(s.dupacks_rcvd);
+    h.Fold(s.ooo_segments);
+  }
+  return h.hash();
+}
+
+// Golden hashes captured from the seed engine. See file comment.
+constexpr uint64_t kGoldenLossFree = 7015949676040332099ULL;
+constexpr uint64_t kGoldenLossy = 12695635198224472852ULL;
+constexpr uint64_t kGoldenKnee = 184106550125434883ULL;
+
+TEST(Determinism, RepeatedRunsAreBitIdentical) {
+  const uint64_t a = BulkTraceHash(3'600'000 * kKhz, 0.0);
+  const uint64_t b = BulkTraceHash(3'600'000 * kKhz, 0.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, RepeatedLossyRunsAreBitIdentical) {
+  // Loss exercises RTO timers, cancellation churn, and out-of-order paths.
+  const uint64_t a = BulkTraceHash(3'600'000 * kKhz, 0.01);
+  const uint64_t b = BulkTraceHash(3'600'000 * kKhz, 0.01);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, MatchesGoldenLossFree) {
+  EXPECT_EQ(BulkTraceHash(3'600'000 * kKhz, 0.0), kGoldenLossFree)
+      << "engine trace diverged from the seed-captured golden (loss-free bulk TX)";
+}
+
+TEST(Determinism, MatchesGoldenLossy) {
+  EXPECT_EQ(BulkTraceHash(3'600'000 * kKhz, 0.01), kGoldenLossy)
+      << "engine trace diverged from the seed-captured golden (1% loss bulk TX)";
+}
+
+TEST(Determinism, MatchesGoldenAtKneeFrequency) {
+  // 2.0 GHz: the fig2 knee, where stack cores saturate and RX rings drop.
+  EXPECT_EQ(BulkTraceHash(2'000'000 * kKhz, 0.0), kGoldenKnee)
+      << "engine trace diverged from the seed-captured golden (knee frequency)";
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,183 @@
+// Tests for the event queue's slot pool: slot recycling, generation-counted
+// handle invalidation, cancel-after-fire safety, and eager compaction.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulation.h"
+
+namespace newtos {
+namespace {
+
+TEST(EventPool, SlotsAreRecycledAcrossPushPopCycles) {
+  EventQueue q;
+  int fired = 0;
+  // Steady push/pop churn must reuse the same slot, not grow the pool: after
+  // warm-up, RawSize() stays at 1 and pushed() keeps counting.
+  for (int i = 0; i < 1000; ++i) {
+    q.Push(i, [&fired] { ++fired; });
+    ASSERT_EQ(q.RawSize(), 1u);
+    auto [when, fn] = q.Pop();
+    EXPECT_EQ(when, i);
+    fn();
+  }
+  EXPECT_EQ(fired, 1000);
+  EXPECT_EQ(q.pushed(), 1000u);
+}
+
+TEST(EventPool, StaleHandleCannotCancelRecycledSlot) {
+  EventQueue q;
+  bool first_ran = false;
+  bool second_ran = false;
+  EventHandle first = q.Push(10, [&first_ran] { first_ran = true; });
+
+  // Fire the first event; its slot is released.
+  auto [w1, f1] = q.Pop();
+  f1();
+  EXPECT_TRUE(first_ran);
+  EXPECT_FALSE(first.pending());
+
+  // The next push recycles the same slot with a bumped generation. The old
+  // handle must be stale: cancelling it may not touch the new event.
+  q.Push(20, [&second_ran] { second_ran = true; });
+  EXPECT_FALSE(first.Cancel());
+  ASSERT_FALSE(q.Empty());
+  auto [w2, f2] = q.Pop();
+  f2();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventPool, CancelAfterFireIsSafeAndReturnsFalse) {
+  EventQueue q;
+  EventHandle h = q.Push(5, [] {});
+  auto [when, fn] = q.Pop();
+  fn();
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.Cancel());
+  EXPECT_FALSE(h.Cancel());  // idempotent
+}
+
+TEST(EventPool, CancelIsEffectiveAndIdempotent) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.Push(5, [&ran] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(h.Cancel());
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.Cancel());  // second cancel is a no-op
+  EXPECT_TRUE(q.Empty());    // lazy discard happens in the accessor
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventPool, HandlesOutliveTheQueue) {
+  EventHandle h;
+  {
+    EventQueue q;
+    h = q.Push(5, [] {});
+  }
+  // The handle shares ownership of the slot pool, so touching it after the
+  // queue is gone is safe. The never-fired event still looks pending (its
+  // slot was never released); cancelling it is a harmless no-op beyond
+  // flipping that state.
+  EXPECT_TRUE(h.pending());
+  EXPECT_TRUE(h.Cancel());
+  EXPECT_FALSE(h.pending());
+  EXPECT_FALSE(h.Cancel());
+}
+
+TEST(EventPool, LiveSizeExcludesCancelledEntries) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(q.Push(100 + i, [] {}));
+  }
+  EXPECT_EQ(q.RawSize(), 10u);
+  EXPECT_EQ(q.LiveSize(), 10u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(handles[static_cast<size_t>(i)].Cancel());
+  }
+  EXPECT_EQ(q.RawSize(), 10u);  // still occupying the heap
+  EXPECT_EQ(q.LiveSize(), 6u);
+}
+
+TEST(EventPool, EagerCompactionBoundsCancelledBacklog) {
+  EventQueue q;
+  // Schedule many events and cancel most of them *behind* a long-lived
+  // blocker, so lazy top-of-heap discard can't reclaim them.
+  q.Push(0, [] {});
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 256; ++i) {
+    handles.push_back(q.Push(1000 + i, [] {}));
+  }
+  for (EventHandle& h : handles) {
+    EXPECT_TRUE(h.Cancel());
+  }
+  EXPECT_EQ(q.LiveSize(), 1u);
+  // The next push notices cancelled > heap/2 and compacts in place.
+  q.Push(5000, [] {});
+  EXPECT_EQ(q.LiveSize(), 2u);
+  EXPECT_LE(q.RawSize(), 2u + 1u);  // backlog gone (not just hidden)
+
+  // Pop order is unaffected: blocker at t=0, then the survivor at t=5000.
+  auto [w1, f1] = q.Pop();
+  EXPECT_EQ(w1, 0);
+  auto [w2, f2] = q.Pop();
+  EXPECT_EQ(w2, 5000);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventPool, CompactionPreservesFifoTieBreak) {
+  EventQueue q;
+  std::vector<int> order;
+  // Interleave cancelled and live events at the same timestamp; after the
+  // forced compaction, same-time events must still fire in push order.
+  std::vector<EventHandle> doomed;
+  q.Push(0, [] {});  // blocker so lazy discard can't help
+  for (int i = 0; i < 100; ++i) {
+    q.Push(10, [&order, i] { order.push_back(i); });
+    doomed.push_back(q.Push(10, [] { FAIL() << "cancelled event fired"; }));
+    doomed.push_back(q.Push(10, [] { FAIL() << "cancelled event fired"; }));
+  }
+  for (EventHandle& h : doomed) {
+    EXPECT_TRUE(h.Cancel());
+  }
+  q.Push(20, [] {});  // triggers compaction (200 cancelled > 301/2)
+  while (!q.Empty()) {
+    auto [when, fn] = q.Pop();
+    fn();
+  }
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventPool, ReserveAvoidsRegrowth) {
+  EventQueue q;
+  q.Reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    q.Push(i, [] {});
+  }
+  EXPECT_EQ(q.RawSize(), 64u);
+  while (!q.Empty()) {
+    auto [when, fn] = q.Pop();
+    fn();
+  }
+}
+
+TEST(EventPool, SimulationCancellationStillWorksEndToEnd) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle keep = sim.Schedule(10, [&fired] { ++fired; });
+  EventHandle drop = sim.Schedule(20, [&fired] { fired += 100; });
+  EXPECT_TRUE(drop.Cancel());
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(keep.pending());
+}
+
+}  // namespace
+}  // namespace newtos

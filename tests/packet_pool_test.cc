@@ -1,0 +1,126 @@
+// Tests for the packet recycling pool: recycle correctness (blocks reused,
+// contents re-initialized, ids still unique) and occupancy accounting.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/net/packet_pool.h"
+
+namespace newtos {
+namespace {
+
+TEST(PacketPool, SteadyChurnRecyclesInsteadOfAllocating) {
+  PacketPool pool;
+  {
+    PacketPtr warm = pool.Make();  // grows the pool to one block
+  }
+  const PacketPool::Stats warm = pool.stats();
+  EXPECT_EQ(warm.fresh_allocations, 1u);
+  EXPECT_EQ(warm.outstanding, 0u);
+
+  for (int i = 0; i < 1000; ++i) {
+    PacketPtr p = pool.Make();
+  }
+  const PacketPool::Stats s = pool.stats();
+  EXPECT_EQ(s.fresh_allocations, 1u) << "steady churn must not hit the system heap";
+  EXPECT_EQ(s.recycled, 1000u);
+  EXPECT_EQ(s.outstanding, 0u);
+}
+
+TEST(PacketPool, RecycledPacketsAreFreshlyInitialized) {
+  PacketPool pool;
+  uint64_t first_id = 0;
+  {
+    PacketPtr p = pool.Make();
+    first_id = p->id;
+    p->payload_bytes = 1460;
+    p->tcp.seq = 77777;
+    p->ip.ttl = 3;
+    p->app_tag = 42;
+  }
+  PacketPtr q = pool.Make();
+  // Same storage, but a brand-new Packet: default-constructed fields and a
+  // fresh id.
+  EXPECT_EQ(q->payload_bytes, 0u);
+  EXPECT_EQ(q->tcp.seq, 0u);
+  EXPECT_EQ(q->ip.ttl, 64);
+  EXPECT_EQ(q->app_tag, 0u);
+  EXPECT_EQ(q->id, first_id + 1);
+}
+
+TEST(PacketPool, IdsStayUniqueAcrossRecycling) {
+  PacketPool pool;
+  std::set<uint64_t> ids;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<PacketPtr> batch;
+    for (int i = 0; i < 20; ++i) {
+      batch.push_back(pool.Make());
+      EXPECT_TRUE(ids.insert(batch.back()->id).second) << "duplicate packet id";
+    }
+  }
+  EXPECT_EQ(ids.size(), 200u);
+}
+
+TEST(PacketPool, HighWaterTracksMaxSimultaneousPackets) {
+  PacketPool pool;
+  {
+    std::vector<PacketPtr> batch;
+    for (int i = 0; i < 32; ++i) {
+      batch.push_back(pool.Make());
+    }
+    EXPECT_EQ(pool.stats().outstanding, 32u);
+    EXPECT_EQ(pool.stats().high_water, 32u);
+  }
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  EXPECT_EQ(pool.stats().high_water, 32u);  // sticky
+
+  // The pool retains all 32 blocks; a second burst of 32 is all-recycled.
+  std::vector<PacketPtr> again;
+  for (int i = 0; i < 32; ++i) {
+    again.push_back(pool.Make());
+  }
+  const PacketPool::Stats s = pool.stats();
+  EXPECT_EQ(s.fresh_allocations, 32u);
+  EXPECT_EQ(s.recycled, 32u);
+  EXPECT_EQ(s.high_water, 32u);
+}
+
+TEST(PacketPool, ReservePrefillsWithoutConsumingIdsOrStats) {
+  PacketPool pool;
+  PacketPtr probe = pool.Make();
+  const uint64_t id_before = probe->id;
+  probe.reset();
+
+  pool.Reserve(64);
+  EXPECT_GE(pool.free_blocks(), 64u);
+  const PacketPool::Stats s = pool.stats();
+  EXPECT_EQ(s.outstanding, 0u);
+  EXPECT_EQ(s.high_water, 1u) << "Reserve must not count as live occupancy";
+
+  PacketPtr next = pool.Make();
+  EXPECT_EQ(next->id, id_before + 1) << "Reserve must not consume packet ids";
+
+  // 64 reserved blocks serve 64 simultaneous packets with no fresh allocs.
+  const uint64_t fresh_before = pool.stats().fresh_allocations;
+  std::vector<PacketPtr> batch;
+  for (int i = 0; i < 63; ++i) {
+    batch.push_back(pool.Make());
+  }
+  EXPECT_EQ(pool.stats().fresh_allocations, fresh_before);
+}
+
+TEST(PacketPool, DefaultPoolBacksMakePacket) {
+  const PacketPool::Stats before = PacketPool::Default().stats();
+  {
+    PacketPtr p = MakePacket();
+    EXPECT_GT(p->id, 0u);
+    EXPECT_EQ(PacketPool::Default().stats().outstanding, before.outstanding + 1);
+  }
+  EXPECT_EQ(PacketPool::Default().stats().outstanding, before.outstanding);
+}
+
+}  // namespace
+}  // namespace newtos
