@@ -1,0 +1,45 @@
+// Tab. 7 — Resilience matrix: fault taxonomy x stack frequency.
+//
+// The CampaignRunner sweeps every fault class (channel drop/duplicate/delay/
+// corrupt, wire bit flips, server crash/hang/livelock) against representative
+// stack stages, at full-speed (3.6 GHz) and slow (1.2 GHz) stack cores, with
+// the watchdog + microreboot recovery plane armed. Each cell reports whether
+// the fault was injected, detected, and recovered within the bound, plus the
+// stream-integrity and progress verdicts.
+//
+// Expected shape: every cell passes at both frequencies. Detection latency is
+// frequency-independent (the watchdog lives on the fast app core); only the
+// reboot tail stretches at 1.2 GHz, and it stays well inside the 100 ms
+// recovery bound — the paper's argument that slow cores do not compromise
+// recoverability.
+
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/fault/campaign.h"
+
+namespace newtos {
+namespace {
+
+void Run(const char* argv0) {
+  CampaignRunner runner;
+  runner.Run();
+
+  Table t = runner.ToTable();
+  t.Print(std::cout, "Tab.7 — fault-injection campaign, resilience by fault class and stack frequency");
+  t.WriteCsvFile(CsvPath(argv0, "tab7_fault_campaign"));
+
+  int pass = 0;
+  for (const CampaignCell& c : runner.cells()) {
+    pass += c.pass ? 1 : 0;
+  }
+  std::cout << "\n" << pass << "/" << runner.cells().size() << " cells pass\n";
+}
+
+}  // namespace
+}  // namespace newtos
+
+int main(int, char** argv) {
+  newtos::Run(argv[0]);
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Fault storm: a bulk transfer over slow stack cores rides out a randomized
+// barrage of faults.
+//
+//   $ ./fault_storm
+//
+// The stack stages run at 1.2 GHz (the paper's "slower is fine" operating
+// point) while the app core stays at 3.6 GHz. A seeded FaultPlan then throws
+// the whole taxonomy at the stack at once: channel message drops and
+// duplicates on the IP rings, wire bit flips on both NICs, and a hang, a
+// livelock, and a crash staggered across the driver, IP, and TCP servers.
+// The watchdog's heartbeats detect each silent server and escalate to the
+// microreboot manager; checksum verification discards every corrupted
+// packet before it can reach a socket.
+//
+// The printed log shows each injection, each watchdog detection, and each
+// recovery incident — and the transfer's goodput before, during, and after
+// the storm. Same binary, same output, every run: the storm is a pure
+// function of the seed.
+
+#include <cstdio>
+
+#include "src/newtos.h"
+
+using namespace newtos;
+
+namespace {
+
+double WindowGbps(IperfPeerSink& sink, Testbed& tb, SimTime window) {
+  sink.window().Reset(tb.sim().Now());
+  tb.sim().RunFor(window);
+  return sink.window().GbitsPerSec(tb.sim().Now());
+}
+
+Cycles RestartFor(const StackConfig& cfg, const std::string& name) {
+  if (name.find("driver") != std::string::npos) return cfg.driver.restart_cycles;
+  if (name.find("tcp") != std::string::npos) return cfg.tcp.restart_cycles;
+  if (name.find("udp") != std::string::npos) return cfg.udp.restart_cycles;
+  if (name.find("pf") != std::string::npos) return cfg.pf.restart_cycles;
+  if (name.find("syscall") != std::string::npos) return cfg.syscall.restart_cycles;
+  return cfg.ip.restart_cycles;
+}
+
+}  // namespace
+
+int main() {
+  Testbed tb;
+  MultiserverStack* stack = tb.stack();
+
+  // Slow stack plane, fast app plane.
+  DedicatedSlowPlan(*stack, 1'200'000 * kKhz, 3'600'000 * kKhz).Apply(tb.machine());
+  stack->tcp()->set_checkpointing(true);
+
+  // Recovery plane: heartbeat watchdog on the app core, every stage watched.
+  MicrorebootManager mgr(&tb.sim());
+  WatchdogServer::Params wd;
+  WatchdogServer watchdog(&tb.sim(), &mgr, wd);
+  watchdog.BindCore(tb.machine().core(stack->config().watchdog_core));
+  for (Server* s : stack->SystemServers()) {
+    watchdog.Watch(s, RestartFor(stack->config(), s->name()));
+  }
+
+  // The storm: background channel/wire noise plus three staggered
+  // server-level faults, all from one seed.
+  FaultPlan plan;
+  plan.seed = 2013;
+  FaultSpec s;
+  s.cls = FaultClass::kChanDrop;
+  s.target = "ip";
+  s.probability = 0.002;
+  plan.faults.push_back(s);
+  s = FaultSpec();
+  s.cls = FaultClass::kChanDuplicate;
+  s.target = "ip";
+  s.probability = 0.002;
+  plan.faults.push_back(s);
+  s = FaultSpec();
+  s.cls = FaultClass::kWireBitFlip;
+  s.probability = 0.0002;
+  plan.faults.push_back(s);
+  s = FaultSpec();
+  s.cls = FaultClass::kServerHang;
+  s.target = "ip";
+  s.at = 300 * kMillisecond;
+  plan.faults.push_back(s);
+  s = FaultSpec();
+  s.cls = FaultClass::kServerLivelock;
+  s.target = "driver";
+  s.at = 500 * kMillisecond;
+  plan.faults.push_back(s);
+  s = FaultSpec();
+  s.cls = FaultClass::kServerCrash;
+  s.target = "tcp";
+  s.at = 700 * kMillisecond;
+  plan.faults.push_back(s);
+
+  FaultInjector injector(&tb.sim(), std::move(plan));
+  injector.Arm(stack);
+  injector.ArmWire(tb.machine().nic());
+  injector.ArmWire(tb.peer().nic());
+
+  // Workload: bulk iperf into the peer sink.
+  SocketApi* api = stack->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params params;
+  params.dst = tb.peer_addr();
+  IperfSender sender(api, params);
+  IperfPeerSink sink(&tb.peer());
+
+  watchdog.Start();
+  sender.Start();
+  tb.sim().RunFor(200 * kMillisecond);
+
+  std::printf("stack cores at 1.2 GHz, app core at 3.6 GHz\n\n");
+  std::printf("calm before the storm:  %5.2f Gbit/s\n", WindowGbps(sink, tb, 100 * kMillisecond));
+  std::printf("storm second:           %5.2f Gbit/s\n", WindowGbps(sink, tb, kSecond));
+  std::printf("after the storm:        %5.2f Gbit/s\n", WindowGbps(sink, tb, 200 * kMillisecond));
+
+  std::printf("\ninjections (server-level):\n");
+  for (const auto& line : injector.injections()) {
+    std::printf("  %s\n", line.c_str());
+  }
+  const auto& ctr = injector.counters();
+  std::printf("background noise: %llu drops, %llu dups, %llu wire flips\n",
+              static_cast<unsigned long long>(ctr.chan_drops),
+              static_cast<unsigned long long>(ctr.chan_dups),
+              static_cast<unsigned long long>(ctr.wire_flips));
+
+  std::printf("\nwatchdog detections (deadline %s):\n",
+              FormatTime(watchdog.DetectionDeadline()).c_str());
+  for (const auto& d : watchdog.detections()) {
+    std::printf("  %-7s silent since %-10s escalated at %s\n", d.server.c_str(),
+                FormatTime(d.last_ack).c_str(), FormatTime(d.detected_at).c_str());
+  }
+
+  std::printf("\nrecovery incidents:\n");
+  for (const auto& inc : mgr.incidents()) {
+    std::printf("  %-7s down at %-10s recovered +%s\n", inc.server.c_str(),
+                FormatTime(inc.crashed_at).c_str(), FormatTime(inc.RecoveryTime()).c_str());
+  }
+
+  uint64_t corrupt_accepted = 0;
+  for (TcpConnection* c : stack->tcp()->host().Connections()) {
+    corrupt_accepted += c->stats().corrupt_segments_accepted;
+  }
+  for (TcpConnection* c : tb.peer().tcp().Connections()) {
+    corrupt_accepted += c->stats().corrupt_segments_accepted;
+  }
+  std::printf("\ncorrupt segments accepted by TCP: %llu (checksums dropped the rest)\n",
+              static_cast<unsigned long long>(corrupt_accepted));
+  std::printf("\nThe transfer survived the storm: every hung or crashed server was\n"
+              "detected by heartbeat silence and microrebooted; retransmission\n"
+              "papered over the drops, flips, and the recovery gaps.\n");
+  return 0;
+}

@@ -6,6 +6,13 @@
 // cores; the channel itself models capacity, occupancy, and the cache-line
 // visibility latency between cores (a consumer learns of a message only
 // after the line crosses the interconnect).
+//
+// Fault taps: an optional tap (src/fault/fault_injector.h installs them)
+// observes every Push and may drop the message in transit, duplicate it,
+// delay its delivery, or mutate it in place (corruption). The tap models the
+// shared-memory ring misbehaving — a torn write, a stale head index, a
+// producer bug — which is exactly the fault surface a multiserver OS must
+// survive. With no tap installed, Push is the original fast path.
 
 #ifndef SRC_CHAN_SIM_CHANNEL_H_
 #define SRC_CHAN_SIM_CHANNEL_H_
@@ -34,6 +41,20 @@ struct ChannelStats {
   uint64_t pops = 0;
   uint64_t full_drops = 0;
   size_t max_depth = 0;
+  // Fault-tap outcomes (all zero unless an injector tap is installed).
+  uint64_t injected_drops = 0;
+  uint64_t injected_dups = 0;
+  uint64_t injected_delays = 0;
+};
+
+// What a fault tap decided for one message. kPass delivers normally (the tap
+// may still have mutated the message — corruption); kDrop swallows it; kDup
+// delivers it twice; kDelay holds it for `delay` before delivery.
+enum class ChanTapAction : uint8_t { kPass, kDrop, kDuplicate, kDelay };
+
+struct ChanTapDecision {
+  ChanTapAction action = ChanTapAction::kPass;
+  SimTime delay = 0;  // kDelay only
 };
 
 template <typename T>
@@ -58,8 +79,56 @@ class SimChannel {
   // head index change, or a doorbell if the consumer's core is halted.
   void SetNotify(std::function<void()> fn) { notify_ = std::move(fn); }
 
+  // Installs (or clears, with nullptr) the fault tap. The tap runs on every
+  // Push before the message enters the ring and may mutate the message.
+  void SetTap(std::function<ChanTapDecision(T&)> tap) { tap_ = std::move(tap); }
+  bool has_tap() const { return static_cast<bool>(tap_); }
+
   // Enqueues; returns false if the channel is full (message dropped, counted).
+  // A tap-injected drop returns true: the producer's enqueue succeeded, the
+  // message was lost in transit — indistinguishable from the producer's side.
   bool Push(T msg) {
+    if (tap_) {
+      const ChanTapDecision d = tap_(msg);
+      switch (d.action) {
+        case ChanTapAction::kPass:
+          break;
+        case ChanTapAction::kDrop:
+          ++stats_.injected_drops;
+          return true;
+        case ChanTapAction::kDuplicate:
+          ++stats_.injected_dups;
+          PushDirect(msg);  // the copy; capacity full_drops apply as usual
+          break;
+        case ChanTapAction::kDelay:
+          ++stats_.injected_delays;
+          delayed_.push_back(Delayed{sim_->Now() + d.delay, std::move(msg)});
+          sim_->Schedule(d.delay, [this] { ReleaseDelayed(); });
+          return true;
+      }
+    }
+    return PushDirect(std::move(msg));
+  }
+
+  std::optional<T> Pop() {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    std::optional<T> out(std::move(queue_.front()));
+    queue_.pop_front();
+    ++stats_.pops;
+    return out;
+  }
+
+  const T* Front() const { return queue_.empty() ? nullptr : &queue_.front(); }
+
+ private:
+  struct Delayed {
+    SimTime due = 0;
+    T msg;
+  };
+
+  bool PushDirect(T msg) {
     if (full()) {
       ++stats_.full_drops;
       return false;
@@ -79,25 +148,26 @@ class SimChannel {
     return true;
   }
 
-  std::optional<T> Pop() {
-    if (queue_.empty()) {
-      return std::nullopt;
+  // Delivers every held-back message that has come due. Delayed messages
+  // release strictly in hold order: a message delayed longer blocks later,
+  // shorter-delayed ones behind it (head-of-line blocking, like a stalled
+  // ring slot); each pending entry has its own scheduled release event, so
+  // nothing is ever stranded.
+  void ReleaseDelayed() {
+    while (!delayed_.empty() && delayed_.front().due <= sim_->Now()) {
+      PushDirect(std::move(delayed_.front().msg));
+      delayed_.pop_front();
     }
-    std::optional<T> out(std::move(queue_.front()));
-    queue_.pop_front();
-    ++stats_.pops;
-    return out;
   }
 
-  const T* Front() const { return queue_.empty() ? nullptr : &queue_.front(); }
-
- private:
   Simulation* sim_;
   std::string name_;
   size_t capacity_;
   ChannelCostModel cost_;
   RingDeque<T> queue_;
+  RingDeque<Delayed> delayed_;  // tap-held messages awaiting release
   std::function<void()> notify_;
+  std::function<ChanTapDecision(T&)> tap_;
   ChannelStats stats_;
 };
 

@@ -1,0 +1,228 @@
+#include "src/fault/campaign.h"
+
+#include <sstream>
+
+#include "src/core/steering.h"
+#include "src/core/testbed.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/invariants.h"
+#include "src/workload/iperf.h"
+
+namespace newtos {
+
+std::vector<CampaignFault> DefaultFaultSpace() {
+  return {
+      {FaultClass::kChanDrop, "ip"},
+      {FaultClass::kChanDuplicate, "tcp"},
+      {FaultClass::kChanDelay, "ip"},
+      {FaultClass::kChanCorrupt, "tcp"},
+      {FaultClass::kWireBitFlip, ""},
+      {FaultClass::kServerCrash, "ip"},
+      {FaultClass::kServerCrash, "tcp"},
+      {FaultClass::kServerHang, "driver"},
+      {FaultClass::kServerHang, "ip"},
+      {FaultClass::kServerHang, "tcp"},
+      {FaultClass::kServerLivelock, "ip"},
+  };
+}
+
+namespace {
+
+Cycles RestartCyclesFor(const StackConfig& config, const std::string& server_name) {
+  if (server_name.find("driver") != std::string::npos) {
+    return config.driver.restart_cycles;
+  }
+  if (server_name.find("tcp") != std::string::npos) {
+    return config.tcp.restart_cycles;
+  }
+  if (server_name.find("udp") != std::string::npos) {
+    return config.udp.restart_cycles;
+  }
+  if (server_name.find("pf") != std::string::npos) {
+    return config.pf.restart_cycles;
+  }
+  if (server_name.find("syscall") != std::string::npos) {
+    return config.syscall.restart_cycles;
+  }
+  return config.ip.restart_cycles;
+}
+
+uint64_t MixSeed(uint64_t seed, const CampaignFault& fault, FreqKhz freq) {
+  uint64_t h = seed ^ (static_cast<uint64_t>(fault.cls) + 1) * 0x9e3779b97f4a7c15ULL;
+  for (char c : fault.target) {
+    h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
+  }
+  return h ^ static_cast<uint64_t>(freq);
+}
+
+std::string GhzCell(FreqKhz f) {
+  return Table::Num(static_cast<double>(f) / 1e6, 1);
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(const CampaignOptions& options) : options_(options) {
+  if (options_.faults.empty()) {
+    options_.faults = DefaultFaultSpace();
+  }
+}
+
+const std::vector<CampaignCell>& CampaignRunner::Run() {
+  cells_.clear();
+  for (FreqKhz freq : options_.stack_freqs) {
+    for (const CampaignFault& fault : options_.faults) {
+      cells_.push_back(RunCell(fault, freq));
+    }
+  }
+  return cells_;
+}
+
+CampaignCell CampaignRunner::RunCell(const CampaignFault& fault, FreqKhz stack_freq) {
+  CampaignCell cell;
+  cell.cls = fault.cls;
+  cell.target = fault.target;
+  cell.stack_freq = stack_freq;
+
+  Testbed tb;
+  Simulation& sim = tb.sim();
+  MultiserverStack* stack = tb.stack();
+  DedicatedSlowPlan(*stack, stack_freq, options_.app_freq).Apply(tb.machine());
+
+  // Checkpointed TCP recovery: a rebooted TCP server keeps its connections
+  // and lets retransmission repair the gap — the paper's recoverable-stack
+  // configuration. Without it every TCP-server reboot aborts the stream and
+  // the campaign would measure connection-reestablishment, not recovery.
+  for (int i = 0; i < stack->tcp_shard_count(); ++i) {
+    stack->tcp_shard(i)->set_checkpointing(true);
+  }
+
+  // Liveness plane: watchdog on the app-side core, every stage watched.
+  MicrorebootManager mgr(&sim);
+  WatchdogServer watchdog(&sim, &mgr, options_.watchdog);
+  watchdog.BindCore(tb.machine().core(stack->config().watchdog_core));
+  for (Server* s : stack->SystemServers()) {
+    watchdog.Watch(s, RestartCyclesFor(stack->config(), s->name()));
+  }
+
+  // Workload: SUT streams to the peer; the peer-side listener feeds the
+  // integrity checker (the measured end of the stream).
+  StreamIntegrityChecker integrity;
+  TcpHost::AppHooks sink_hooks;
+  sink_hooks.on_data = [&integrity](TcpConnection*, uint32_t bytes) {
+    integrity.OnChunk(bytes);
+  };
+  tb.peer().tcp().Listen(kIperfPort, sink_hooks, tb.peer().tcp_params());
+
+  SocketApi* api = stack->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params sp;
+  sp.dst = tb.peer_addr();
+  sp.burst_bytes = options_.burst_bytes;
+  IperfSender sender(api, sp);
+
+  // The cell's single fault, armed after Watch() so the injector can see and
+  // skip the watchdog channels.
+  FaultPlan plan;
+  plan.seed = MixSeed(options_.seed, fault, stack_freq);
+  FaultSpec spec;
+  spec.cls = fault.cls;
+  spec.target = fault.target;
+  spec.probability = IsWireFault(fault.cls) ? options_.wire_flip_prob : options_.chan_fault_prob;
+  spec.delay = options_.chan_delay;
+  spec.at = options_.warmup + options_.inject_at;
+  spec.livelock_slice = options_.livelock_slice;
+  plan.faults.push_back(spec);
+
+  FaultInjector injector(&sim, std::move(plan));
+  injector.Arm(stack);
+  if (IsWireFault(fault.cls)) {
+    injector.ArmWire(tb.machine().nic());  // corrupts ACKs arriving at the SUT
+    injector.ArmWire(tb.peer().nic());     // corrupts data arriving at the peer
+  }
+
+  // Progress invariant: the delivery counter may legitimately go flat for
+  // detection + reboot + one RTO, so the stall bound sits above the recovery
+  // bound; a wedged pipeline blows well past it.
+  ProgressMonitor progress(
+      &sim, [&integrity] { return integrity.delivered(); }, 5 * kMillisecond,
+      options_.recovery_bound + watchdog.DetectionDeadline() + 20 * kMillisecond);
+
+  watchdog.Start();
+  sender.Start();
+
+  uint64_t delivered_at_inject = 0;
+  sim.ScheduleAt(spec.at, [&delivered_at_inject, &integrity] {
+    delivered_at_inject = integrity.delivered();
+  });
+
+  tb.WarmUp(options_.warmup);
+  progress.Start();
+  sim.RunFor(options_.run_for);
+
+  // --- Judge the cell ---
+  cell.injected = injector.counters().Total();
+  cell.delivered = integrity.delivered();
+  cell.digest = integrity.digest();
+
+  uint64_t corrupt_accepted = 0;
+  for (int i = 0; i < stack->tcp_shard_count(); ++i) {
+    for (TcpConnection* c : stack->tcp_shard(i)->host().Connections()) {
+      corrupt_accepted += c->stats().corrupt_segments_accepted;
+    }
+  }
+  for (TcpConnection* c : tb.peer().tcp().Connections()) {
+    corrupt_accepted += c->stats().corrupt_segments_accepted;
+  }
+  cell.integrity = corrupt_accepted == 0 && cell.delivered > 0;
+  cell.progress = !progress.stalled() && cell.delivered > delivered_at_inject;
+
+  if (IsServerFault(fault.cls)) {
+    cell.detected = !watchdog.detections().empty();
+    const RecoveryCheck rc = CheckBoundedRecovery(mgr.incidents(), options_.recovery_bound);
+    cell.recovered = !mgr.incidents().empty() && rc.all_recovered;
+    if (cell.detected) {
+      cell.detect_ms = static_cast<double>(rc.worst_detect) / kMillisecond;
+    }
+    if (cell.recovered) {
+      cell.recover_ms = static_cast<double>(rc.worst_recover) / kMillisecond;
+    }
+    cell.pass = cell.injected > 0 && cell.detected && cell.recovered && rc.all_within_bound &&
+                cell.integrity && cell.progress;
+  } else {
+    cell.pass = cell.injected > 0 && cell.integrity && cell.progress;
+  }
+  return cell;
+}
+
+Table CampaignRunner::ToTable() const {
+  Table t({"fault", "target", "stack_ghz", "injected", "detected", "recovered", "detect_ms",
+           "recover_ms", "delivered_mb", "digest", "integrity", "progress", "verdict"});
+  for (const CampaignCell& c : cells_) {
+    const bool server_fault = IsServerFault(c.cls);
+    std::ostringstream digest;
+    digest << std::hex << c.digest;
+    t.AddRow({
+        FaultClassName(c.cls),
+        c.target.empty() ? "*" : c.target,
+        GhzCell(c.stack_freq),
+        Table::Int(static_cast<int64_t>(c.injected)),
+        server_fault ? (c.detected ? "yes" : "NO") : "-",
+        server_fault ? (c.recovered ? "yes" : "NO") : "-",
+        c.detect_ms >= 0 ? Table::Num(c.detect_ms, 2) : "-",
+        c.recover_ms >= 0 ? Table::Num(c.recover_ms, 2) : "-",
+        Table::Num(static_cast<double>(c.delivered) / 1e6, 2),
+        digest.str(),
+        c.integrity ? "ok" : "VIOLATED",
+        c.progress ? "ok" : "STALLED",
+        c.pass ? "PASS" : "FAIL",
+    });
+  }
+  return t;
+}
+
+std::string CampaignRunner::ToCsv() const {
+  std::ostringstream oss;
+  ToTable().WriteCsv(oss);
+  return oss.str();
+}
+
+}  // namespace newtos

@@ -1,0 +1,104 @@
+// CampaignRunner: sweeps fault space x stack frequency and emits the
+// resilience matrix (Tab. 7).
+//
+// Each cell builds a fresh testbed, steers the stack stages to the cell's
+// frequency (DedicatedSlowPlan), arms one fault from the taxonomy against
+// one target, runs a bulk-TCP workload through it, and judges the outcome
+// with the invariant checkers:
+//   injected    the fault actually fired (trials are probabilistic)
+//   detected    the watchdog escalated the silent server (server faults)
+//   recovered   the microreboot completed, within the recovery bound
+//   integrity   no corrupt segment was accepted; bytes kept arriving
+//   progress    the delivery counter never went flat past the stall bound
+// A cell passes when everything applicable holds. The whole matrix is a
+// deterministic function of (options, seed): running it twice yields
+// byte-identical CSV, which the determinism test pins.
+
+#ifndef SRC_FAULT_CAMPAIGN_H_
+#define SRC_FAULT_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/fault/watchdog.h"
+#include "src/metrics/table.h"
+#include "src/sim/time.h"
+
+namespace newtos {
+
+// One point of the fault space: a class aimed at a server-name substring
+// (empty target = the wire / everything, per class semantics).
+struct CampaignFault {
+  FaultClass cls = FaultClass::kChanDrop;
+  std::string target;
+};
+
+// The default sweep: every fault class, aimed at representative stages.
+std::vector<CampaignFault> DefaultFaultSpace();
+
+struct CampaignOptions {
+  uint64_t seed = 1;
+  std::vector<FreqKhz> stack_freqs{3'600'000 * kKhz, 1'200'000 * kKhz};
+  FreqKhz app_freq = 3'600'000 * kKhz;
+
+  SimTime warmup = 30 * kMillisecond;
+  SimTime run_for = 250 * kMillisecond;      // measured window after warmup
+  SimTime inject_at = 60 * kMillisecond;     // server-fault trigger, into the window
+  SimTime recovery_bound = 100 * kMillisecond;
+
+  double chan_fault_prob = 0.01;   // per-message trial for channel faults
+  double wire_flip_prob = 0.0005;  // per-frame trial for wire bit flips
+  SimTime chan_delay = 200 * kMicrosecond;
+  Cycles livelock_slice = 200'000;
+
+  uint64_t burst_bytes = 256 * 1024;
+  WatchdogServer::Params watchdog;
+
+  // The fault space to sweep; empty selects DefaultFaultSpace().
+  std::vector<CampaignFault> faults;
+};
+
+struct CampaignCell {
+  FaultClass cls = FaultClass::kChanDrop;
+  std::string target;
+  FreqKhz stack_freq = 0;
+
+  uint64_t injected = 0;       // discrete injections (triggers + trials hit)
+  bool detected = false;       // server faults only
+  bool recovered = false;
+  double detect_ms = -1.0;     // silence begin -> watchdog escalation
+  double recover_ms = -1.0;    // escalation -> reboot complete
+  uint64_t delivered = 0;      // bytes the peer application accepted
+  uint64_t digest = 0;         // stream-integrity running checksum
+  bool integrity = false;
+  bool progress = false;
+  bool pass = false;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(const CampaignOptions& options = {});
+
+  // Runs every (fault, frequency) cell; idempotent (re-running replaces).
+  const std::vector<CampaignCell>& Run();
+
+  const std::vector<CampaignCell>& cells() const { return cells_; }
+  const CampaignOptions& options() const { return options_; }
+
+  // The resilience matrix as a metrics table (console and CSV).
+  Table ToTable() const;
+  // CSV encoding of the matrix; byte-identical across same-seed runs.
+  std::string ToCsv() const;
+
+ private:
+  CampaignCell RunCell(const CampaignFault& fault, FreqKhz stack_freq);
+
+  CampaignOptions options_;
+  std::vector<CampaignCell> cells_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_FAULT_CAMPAIGN_H_

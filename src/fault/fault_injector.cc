@@ -1,0 +1,181 @@
+#include "src/fault/fault_injector.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/sim/logger.h"
+
+namespace newtos {
+
+namespace {
+
+bool TargetMatches(const std::string& target, const std::string& server_name) {
+  return target.empty() || server_name.find(target) != std::string::npos;
+}
+
+// Watchdog plumbing is never tapped: faulting the detector is a different
+// experiment than faulting what it detects.
+bool IsWatchdogChannel(const std::string& chan_name) {
+  return chan_name.find("/wd") != std::string::npos ||
+         chan_name.find("watchdog") != std::string::npos;
+}
+
+std::string TimeMs(SimTime t) {
+  std::ostringstream oss;
+  oss << (static_cast<double>(t) / static_cast<double>(kMillisecond)) << "ms";
+  return oss.str();
+}
+
+// P(flip lands in the IP header) vs the (much larger) L4 header + payload.
+constexpr double kIpHeaderFlipShare = 0.2;
+
+}  // namespace
+
+FaultInjector::FaultInjector(Simulation* sim, FaultPlan plan)
+    : sim_(sim), plan_(std::move(plan)) {}
+
+uint64_t FaultInjector::HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void FaultInjector::Arm(MultiserverStack* stack) {
+  for (Server* server : stack->SystemServers()) {
+    // Channel taps on every matching input ring.
+    for (SimChannel<Msg>* chan : server->Inputs()) {
+      if (IsWatchdogChannel(chan->name())) {
+        continue;
+      }
+      InstallTap(chan);
+    }
+    // One-shot server triggers.
+    for (const FaultSpec& spec : plan_.faults) {
+      if (!IsServerFault(spec.cls) || !TargetMatches(spec.target, server->name())) {
+        continue;
+      }
+      triggers_.push_back(Trigger{server, spec.cls, spec.livelock_slice});
+      const size_t index = triggers_.size() - 1;
+      sim_->ScheduleAt(spec.at, [this, index] { FireTrigger(index); });
+    }
+  }
+}
+
+void FaultInjector::InstallTap(SimChannel<Msg>* chan) {
+  // Gather the channel specs aimed at this channel's owner. The channel name
+  // is "<server>/<ring>", so a server-name target matches it too.
+  std::vector<FaultSpec> specs;
+  for (const FaultSpec& spec : plan_.faults) {
+    if (IsChannelFault(spec.cls) && TargetMatches(spec.target, chan->name())) {
+      specs.push_back(spec);
+    }
+  }
+  if (specs.empty()) {
+    return;
+  }
+  taps_.push_back(std::make_unique<TapState>());
+  TapState* st = taps_.back().get();
+  st->owner = this;
+  st->rng = Rng(plan_.seed ^ HashName(chan->name()));
+  st->specs = std::move(specs);
+
+  chan->SetTap([st](Msg& msg) -> ChanTapDecision {
+    if (msg.type == MsgType::kCtlHeartbeat) {
+      return {};  // the liveness plane stays clean
+    }
+    Counters& n = st->owner->counters_;
+    for (const FaultSpec& s : st->specs) {
+      switch (s.cls) {
+        case FaultClass::kChanCorrupt:
+          // Corruption mutates in place and still delivers; the RX path's
+          // checksum verification is what the fault exercises.
+          if (msg.packet && st->rng.Bernoulli(s.probability)) {
+            msg.packet->corrupt |=
+                st->rng.Bernoulli(kIpHeaderFlipShare) ? kCorruptIp : kCorruptL4;
+            ++n.chan_corrupts;
+          }
+          break;
+        case FaultClass::kChanDrop:
+          if (st->rng.Bernoulli(s.probability)) {
+            ++n.chan_drops;
+            return {ChanTapAction::kDrop, 0};
+          }
+          break;
+        case FaultClass::kChanDuplicate:
+          if (st->rng.Bernoulli(s.probability)) {
+            ++n.chan_dups;
+            return {ChanTapAction::kDuplicate, 0};
+          }
+          break;
+        case FaultClass::kChanDelay:
+          if (st->rng.Bernoulli(s.probability)) {
+            ++n.chan_delays;
+            return {ChanTapAction::kDelay, s.delay};
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    return {};
+  });
+}
+
+void FaultInjector::ArmWire(Nic* nic) {
+  std::vector<FaultSpec> specs;
+  for (const FaultSpec& spec : plan_.faults) {
+    if (IsWireFault(spec.cls)) {
+      specs.push_back(spec);
+    }
+  }
+  if (specs.empty()) {
+    return;
+  }
+  wires_.push_back(std::make_unique<WireState>());
+  WireState* st = wires_.back().get();
+  st->owner = this;
+  st->rng = Rng(plan_.seed ^ HashName(nic->name()) ^ 0x77697265ULL);  // "wire"
+  st->specs = std::move(specs);
+
+  nic->SetWireFault([st](Packet& p) {
+    bool flipped = false;
+    for (const FaultSpec& s : st->specs) {
+      if (st->rng.Bernoulli(s.probability)) {
+        p.corrupt |= st->rng.Bernoulli(kIpHeaderFlipShare) ? kCorruptIp : kCorruptL4;
+        flipped = true;
+      }
+    }
+    if (flipped) {
+      ++st->owner->counters_.wire_flips;
+    }
+    return flipped;
+  });
+}
+
+void FaultInjector::FireTrigger(size_t index) {
+  const Trigger& t = triggers_[index];
+  const char* what = FaultClassName(t.cls);
+  switch (t.cls) {
+    case FaultClass::kServerCrash:
+      t.server->Crash();
+      ++counters_.crashes;
+      break;
+    case FaultClass::kServerHang:
+      t.server->Hang();
+      ++counters_.hangs;
+      break;
+    case FaultClass::kServerLivelock:
+      t.server->Livelock(t.livelock_slice);
+      ++counters_.livelocks;
+      break;
+    default:
+      return;
+  }
+  injections_.push_back("[" + TimeMs(sim_->Now()) + "] " + what + " " + t.server->name());
+  NEWTOS_LOG(kInfo, sim_->Now(), "fault", what << " injected into " << t.server->name());
+}
+
+}  // namespace newtos

@@ -1,0 +1,102 @@
+// FaultInjector: arms a FaultPlan against a running testbed.
+//
+// Channel faults become SimChannel taps on the stack's inter-server rings,
+// wire faults become a NIC receive hook, server faults become one-shot
+// scheduled triggers (Crash/Hang/Livelock). Every random draw comes from a
+// per-channel RNG forked deterministically from the plan seed, so the same
+// (plan, workload) pair replays identically.
+//
+// The watchdog's control plane is off limits: channels whose name marks them
+// as watchdog plumbing ("<server>/wd") are never tapped, and heartbeat
+// messages pass through taps untouched. Faulting the detector itself is a
+// different experiment than faulting what it detects.
+
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/hw/nic.h"
+#include "src/os/stack.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+
+namespace newtos {
+
+class FaultInjector {
+ public:
+  struct Counters {
+    uint64_t chan_drops = 0;
+    uint64_t chan_dups = 0;
+    uint64_t chan_delays = 0;
+    uint64_t chan_corrupts = 0;
+    uint64_t wire_flips = 0;
+    uint64_t crashes = 0;
+    uint64_t hangs = 0;
+    uint64_t livelocks = 0;
+
+    uint64_t Total() const {
+      return chan_drops + chan_dups + chan_delays + chan_corrupts + wire_flips + crashes +
+             hangs + livelocks;
+    }
+  };
+
+  FaultInjector(Simulation* sim, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs channel taps on every matching system-server input and schedules
+  // the plan's server-fault triggers. Call once, after the stack is built
+  // (and after any WatchdogServer::Watch calls, so watchdog channels exist
+  // and can be excluded). Channel taps are active immediately.
+  void Arm(MultiserverStack* stack);
+
+  // Installs the plan's wire faults on `nic` (frames arriving at it). Arm the
+  // SUT's NIC to corrupt inbound traffic, the peer's to corrupt outbound.
+  void ArmWire(Nic* nic);
+
+  const FaultPlan& plan() const { return plan_; }
+  const Counters& counters() const { return counters_; }
+
+  // Human-readable record of every discrete injection (server triggers), in
+  // injection order, e.g. "[103.000ms] hang ip".
+  const std::vector<std::string>& injections() const { return injections_; }
+
+ private:
+  struct TapState {
+    FaultInjector* owner = nullptr;
+    Rng rng{1};
+    std::vector<FaultSpec> specs;  // the channel specs matching this channel
+  };
+  struct WireState {
+    FaultInjector* owner = nullptr;
+    Rng rng{1};
+    std::vector<FaultSpec> specs;
+  };
+  struct Trigger {
+    Server* server = nullptr;
+    FaultClass cls = FaultClass::kServerCrash;
+    Cycles livelock_slice = 0;
+  };
+
+  static uint64_t HashName(const std::string& name);
+  void InstallTap(SimChannel<Msg>* chan);
+  void FireTrigger(size_t index);
+
+  Simulation* sim_;
+  FaultPlan plan_;
+  Counters counters_;
+  std::vector<std::unique_ptr<TapState>> taps_;
+  std::vector<std::unique_ptr<WireState>> wires_;
+  std::vector<Trigger> triggers_;
+  std::vector<std::string> injections_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,52 @@
+#include "src/fault/fault_plan.h"
+
+namespace newtos {
+
+const char* FaultClassName(FaultClass c) {
+  switch (c) {
+    case FaultClass::kChanDrop:
+      return "chan_drop";
+    case FaultClass::kChanDuplicate:
+      return "chan_dup";
+    case FaultClass::kChanDelay:
+      return "chan_delay";
+    case FaultClass::kChanCorrupt:
+      return "chan_corrupt";
+    case FaultClass::kWireBitFlip:
+      return "wire_flip";
+    case FaultClass::kServerCrash:
+      return "crash";
+    case FaultClass::kServerHang:
+      return "hang";
+    case FaultClass::kServerLivelock:
+      return "livelock";
+  }
+  return "?";
+}
+
+bool IsChannelFault(FaultClass c) {
+  switch (c) {
+    case FaultClass::kChanDrop:
+    case FaultClass::kChanDuplicate:
+    case FaultClass::kChanDelay:
+    case FaultClass::kChanCorrupt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsWireFault(FaultClass c) { return c == FaultClass::kWireBitFlip; }
+
+bool IsServerFault(FaultClass c) {
+  switch (c) {
+    case FaultClass::kServerCrash:
+    case FaultClass::kServerHang:
+    case FaultClass::kServerLivelock:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace newtos

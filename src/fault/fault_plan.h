@@ -1,0 +1,81 @@
+// FaultPlan: a declarative, seeded description of what goes wrong and when.
+//
+// A plan is a list of FaultSpecs plus one RNG seed. Every random draw the
+// injector makes (per-message Bernoulli trials, corruption layer choice)
+// derives deterministically from that seed, so a (plan, workload) pair
+// replays bit-identically — the property the campaign's resilience matrix
+// and the determinism tests rely on.
+//
+// Fault taxonomy (what the multiserver stack must survive):
+//   channel faults — the shared-memory rings between servers misbehave:
+//     kChanDrop       a message vanishes in transit (torn index update)
+//     kChanDuplicate  a message is delivered twice (replayed slot)
+//     kChanDelay      a message is held back before delivery (stalled slot)
+//     kChanCorrupt    a packet's payload is damaged in the ring (checksum
+//                     verification downstream is expected to catch it)
+//   wire faults — bit flips on the physical link:
+//     kWireBitFlip    an arriving frame fails its IP or L4 checksum
+//   server faults — a stack process stops making progress:
+//     kServerCrash    the process dies visibly (explicit crash)
+//     kServerHang     the process blocks silently; no crash to observe
+//     kServerLivelock the process spins at full speed without progress
+
+#ifndef SRC_FAULT_FAULT_PLAN_H_
+#define SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace newtos {
+
+enum class FaultClass : uint8_t {
+  kChanDrop,
+  kChanDuplicate,
+  kChanDelay,
+  kChanCorrupt,
+  kWireBitFlip,
+  kServerCrash,
+  kServerHang,
+  kServerLivelock,
+};
+
+const char* FaultClassName(FaultClass c);
+
+// Channel faults tap SimChannels; wire faults hook the NIC; server faults
+// fire a one-shot trigger against matching servers.
+bool IsChannelFault(FaultClass c);
+bool IsWireFault(FaultClass c);
+bool IsServerFault(FaultClass c);
+
+struct FaultSpec {
+  FaultClass cls = FaultClass::kChanDrop;
+
+  // Substring matched against server names ("ip", "tcp", "driver", ...).
+  // Empty matches every system server. Ignored for wire faults (the hook is
+  // installed on whichever NIC the injector is armed with).
+  std::string target;
+
+  // Channel/wire faults: per-message (per-frame) trial probability.
+  double probability = 0.0;
+
+  // kChanDelay: how long a held-back message is delayed.
+  SimTime delay = 200 * kMicrosecond;
+
+  // Server faults: absolute simulation time of the one-shot trigger.
+  SimTime at = 0;
+
+  // kServerLivelock: busy-spin slice re-armed until the next crash.
+  Cycles livelock_slice = 200'000;
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  std::vector<FaultSpec> faults;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_FAULT_FAULT_PLAN_H_

@@ -1,0 +1,29 @@
+#include "src/fault/invariants.h"
+
+namespace newtos {
+
+RecoveryCheck CheckBoundedRecovery(const std::vector<MicrorebootManager::Incident>& incidents,
+                                   SimTime recovery_bound) {
+  RecoveryCheck out;
+  for (const MicrorebootManager::Incident& i : incidents) {
+    if (i.recovered_at == 0) {
+      out.all_recovered = false;
+      out.all_within_bound = false;
+      continue;
+    }
+    const SimTime detect = i.detected_at - i.crashed_at;
+    const SimTime recover = i.recovered_at - i.detected_at;
+    if (detect > out.worst_detect) {
+      out.worst_detect = detect;
+    }
+    if (recover > out.worst_recover) {
+      out.worst_recover = recover;
+    }
+    if (recover > recovery_bound) {
+      out.all_within_bound = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace newtos

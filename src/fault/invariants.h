@@ -1,0 +1,119 @@
+// Invariant checkers for fault campaigns.
+//
+// Three properties distinguish "survived the fault" from "limped past it":
+//   * stream integrity — every byte the application accepted arrived in
+//     order and uncorrupted. Payload contents are not materialized in the
+//     model, so the checker folds the delivered chunk sequence into a
+//     running digest (two ends delivering the same byte count in the same
+//     chunk pattern under a deterministic schedule fold to the same digest),
+//     and the TCP layer's corrupt_segments_accepted counter is the direct
+//     tripwire for corruption that slipped past checksum verification.
+//   * progress — the system keeps doing useful work; a recovery that leaves
+//     the pipeline wedged shows up as a monotonic counter going flat.
+//   * bounded recovery — every detected incident completes its reboot within
+//     the configured bound.
+
+#ifndef SRC_FAULT_INVARIANTS_H_
+#define SRC_FAULT_INVARIANTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/os/microreboot.h"
+#include "src/sim/simulation.h"
+
+namespace newtos {
+
+// Order-sensitive running checksum over delivered stream chunks. Feed it
+// from a delivery callback (e.g. a TCP on_data hook); compare digests across
+// runs, or against a fault-free reference with the same chunking.
+class StreamIntegrityChecker {
+ public:
+  void OnChunk(uint64_t bytes) {
+    delivered_ += bytes;
+    ++chunks_;
+    // FNV-1a over the chunk-size sequence: position- and size-sensitive.
+    digest_ ^= bytes;
+    digest_ *= 1099511628211ULL;
+  }
+
+  uint64_t delivered() const { return delivered_; }
+  uint64_t chunks() const { return chunks_; }
+  uint64_t digest() const { return digest_; }
+
+ private:
+  uint64_t delivered_ = 0;
+  uint64_t chunks_ = 0;
+  uint64_t digest_ = 1469598103934665603ULL;
+};
+
+// Samples a monotonic progress counter every `interval`; if the counter
+// stays flat longer than `stall_bound`, the run is flagged as stalled (the
+// no-deadlock/no-livelock invariant). The bound must exceed the longest
+// legitimate outage — detection plus reboot — or recovery itself trips it.
+class ProgressMonitor {
+ public:
+  ProgressMonitor(Simulation* sim, std::function<uint64_t()> progress, SimTime interval,
+                  SimTime stall_bound)
+      : sim_(sim), progress_(std::move(progress)), interval_(interval),
+        stall_bound_(stall_bound) {}
+
+  void Start() {
+    last_value_ = progress_();
+    last_change_ = sim_->Now();
+    running_ = true;
+    sim_->Schedule(interval_, [this] { Sample(); });
+  }
+  void Stop() { running_ = false; }
+
+  bool stalled() const { return stalled_; }
+  // Longest observed flat stretch (sampled, so quantized to `interval`).
+  SimTime longest_stall() const { return longest_stall_; }
+
+ private:
+  void Sample() {
+    if (!running_) {
+      return;
+    }
+    sim_->Schedule(interval_, [this] { Sample(); });
+    const uint64_t v = progress_();
+    if (v != last_value_) {
+      last_value_ = v;
+      last_change_ = sim_->Now();
+      return;
+    }
+    const SimTime flat = sim_->Now() - last_change_;
+    if (flat > longest_stall_) {
+      longest_stall_ = flat;
+    }
+    if (flat > stall_bound_) {
+      stalled_ = true;
+    }
+  }
+
+  Simulation* sim_;
+  std::function<uint64_t()> progress_;
+  SimTime interval_;
+  SimTime stall_bound_;
+  uint64_t last_value_ = 0;
+  SimTime last_change_ = 0;
+  SimTime longest_stall_ = 0;
+  bool stalled_ = false;
+  bool running_ = false;
+};
+
+// Bounded-recovery assertion over a set of incidents.
+struct RecoveryCheck {
+  bool all_recovered = true;   // vacuously true when there are no incidents
+  bool all_within_bound = true;
+  SimTime worst_detect = 0;    // max detected_at - crashed_at
+  SimTime worst_recover = 0;   // max recovered_at - detected_at
+};
+
+RecoveryCheck CheckBoundedRecovery(const std::vector<MicrorebootManager::Incident>& incidents,
+                                   SimTime recovery_bound);
+
+}  // namespace newtos
+
+#endif  // SRC_FAULT_INVARIANTS_H_

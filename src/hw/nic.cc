@@ -73,6 +73,9 @@ void Nic::StartNextTx() {
 }
 
 void Nic::DeliverFromWire(PacketPtr p) {
+  if (wire_fault_ && wire_fault_(*p)) {
+    ++stats_.wire_corrupt_frames;
+  }
   // RX-side DMA latency before the descriptor is host-visible.
   sim_->Schedule(params_.dma_latency, [this, p = std::move(p)]() mutable {
     if (rx_ring_.size() >= params_.rx_ring_slots) {

@@ -43,6 +43,7 @@ class Nic {
     uint64_t rx_ring_drops = 0;
     uint64_t tx_ring_rejects = 0;
     uint64_t link_loss_drops = 0;
+    uint64_t wire_corrupt_frames = 0;  // frames the wire-fault hook corrupted
   };
 
   Nic(Simulation* sim, std::string name, const Params& params);
@@ -83,6 +84,14 @@ class Nic {
   // Time to serialize one frame of `bytes` payload at line rate.
   SimTime SerializationTime(uint32_t frame_bytes) const;
 
+  // --- Wire-fault injection ---
+  // Called for every frame that survives link loss, as it arrives at this
+  // NIC and before it becomes host-visible. The hook may mutate the packet
+  // (typically setting Packet::corrupt bits — a bit flip on the wire that
+  // the receive path's checksum verification is expected to catch); return
+  // true to count the frame as corrupted. Unset = fault-free wire.
+  void SetWireFault(std::function<bool(Packet&)> fn) { wire_fault_ = std::move(fn); }
+
   // --- Capture tap ---
   enum class TapDirection { kTx, kRx };
   // Observes every frame leaving (kTx, at transmit start) and arriving
@@ -108,6 +117,7 @@ class Nic {
   bool tx_in_progress_ = false;
   std::function<void()> rx_notify_;
   std::function<void(TapDirection, const PacketPtr&)> tap_;
+  std::function<bool(Packet&)> wire_fault_;
 
   Stats stats_;
 };

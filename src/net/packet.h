@@ -104,6 +104,14 @@ inline constexpr size_t kUdpHeaderBytes = 8;
 inline constexpr uint8_t kIcmpEchoReply = 0;
 inline constexpr uint8_t kIcmpEchoRequest = 8;
 
+// Wire-fault model: which checksums a corrupted frame would fail. Payload
+// contents are not stored, so a bit flip is carried as metadata naming the
+// layer whose checksum covers the flipped bits; RX-side verification (NIC
+// offload + per-server software check) reads these flags and drops, exactly
+// as a real stack discards frames whose checksum does not verify.
+inline constexpr uint8_t kCorruptIp = 0x01;  // flip inside the IPv4 header
+inline constexpr uint8_t kCorruptL4 = 0x02;  // flip in the L4 header or payload
+
 struct IcmpHeader {
   uint8_t type = kIcmpEchoRequest;
   uint8_t code = 0;
@@ -127,6 +135,7 @@ struct Packet {
   uint64_t id = 0;             // unique per packet, for traces
   SimTime created_at = 0;      // when the sending application emitted it
   uint64_t app_tag = 0;        // opaque application marker (request ids etc.)
+  uint8_t corrupt = 0;         // kCorrupt* bits set by fault injection
 
   // Total on-wire frame size in bytes (without preamble/FCS overhead; the
   // link model adds those).

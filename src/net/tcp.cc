@@ -308,6 +308,9 @@ void TcpConnection::EnterEstablished() {
 void TcpConnection::OnSegment(const Packet& p) {
   assert(p.ip.proto == IpProto::kTcp);
   ++stats_.segs_rcvd;
+  if (p.corrupt != 0) {
+    ++stats_.corrupt_segments_accepted;  // verification below TCP failed us
+  }
   const TcpHeader& h = p.tcp;
 
   if (h.rst()) {

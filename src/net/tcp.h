@@ -72,6 +72,11 @@ struct TcpStats {
   uint64_t dupacks_rcvd = 0;
   uint64_t ooo_segments = 0;     // out-of-order arrivals buffered
   uint64_t sack_retransmits = 0;  // hole-directed retransmissions (SACK only)
+  // Integrity tripwire: segments carrying corruption flags that reached the
+  // state machine anyway. Checksum verification below TCP (NIC offload +
+  // per-server RX check) must keep this at zero; the fault-campaign
+  // invariants fail a run where it is not.
+  uint64_t corrupt_segments_accepted = 0;
 };
 
 // One direction-pair TCP connection bound to a flow key. Demultiplexing and

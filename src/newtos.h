@@ -11,6 +11,8 @@
 //              microreboot manager, SocketApi
 //   core     — the paper's contribution: steering plans, TurboGovernor,
 //              SifGovernor, PollPolicy, the Testbed rig
+//   fault    — fault injection (FaultPlan/FaultInjector), heartbeat
+//              watchdog, invariant checkers, the resilience campaign
 //   workload — iperf / HTTP / UDP-flood load generators
 //   metrics  — stats, histograms, table/CSV writers
 //   host     — real-thread affinity pipeline over SpscRing
@@ -26,6 +28,11 @@
 #include "src/core/steering.h"
 #include "src/core/testbed.h"
 #include "src/core/turbo.h"
+#include "src/fault/campaign.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/invariants.h"
+#include "src/fault/watchdog.h"
 #include "src/host/affinity.h"
 #include "src/host/pipeline.h"
 #include "src/hw/cpu.h"

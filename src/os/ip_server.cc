@@ -23,6 +23,10 @@ void IpServer::Handle(const Msg& msg) {
   switch (msg.type) {
     case MsgType::kPacketRx: {
       const Packet& p = *msg.packet;
+      if ((p.corrupt & kCorruptIp) != 0) {
+        ++rx_checksum_drops_;  // header checksum mismatch: drop before routing
+        return;
+      }
       if (p.ip.dst != local_addr_) {
         ++dropped_not_local_;  // we are a host, not a router
         return;

@@ -45,6 +45,10 @@ class IpServer : public Server {
   uint64_t tx_forwarded() const { return tx_forwarded_; }
   uint64_t dropped_not_local() const { return dropped_not_local_; }
   uint64_t dropped_ttl() const { return dropped_ttl_; }
+  // Inbound packets discarded because the IPv4 header checksum would not
+  // verify (Packet::corrupt carries kCorruptIp — a wire bit flip in the
+  // header). Verification is modeled as free: NICs checksum in hardware.
+  uint64_t rx_checksum_drops() const { return rx_checksum_drops_; }
 
  protected:
   Cycles CostFor(const Msg& msg) override;
@@ -64,6 +68,7 @@ class IpServer : public Server {
   uint64_t icmp_echoes_answered_ = 0;
   uint64_t dropped_not_local_ = 0;
   uint64_t dropped_ttl_ = 0;
+  uint64_t rx_checksum_drops_ = 0;
 };
 
 }  // namespace newtos

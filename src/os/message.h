@@ -33,8 +33,9 @@ enum class MsgType : uint8_t {
   kEvtClosed,       // handle
 
   // Control plane.
-  kCtlCrash,    // fault injection: the receiving server crashes
-  kCtlRestart,  // recovery manager: reinitialize
+  kCtlCrash,      // fault injection: the receiving server crashes
+  kCtlRestart,    // recovery manager: reinitialize
+  kCtlHeartbeat,  // watchdog liveness probe; value carries the sequence number
 };
 
 struct Msg {

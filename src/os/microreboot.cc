@@ -17,6 +17,18 @@ size_t MicrorebootManager::InjectCrash(Server* server, SimTime at, Cycles restar
   return index;
 }
 
+size_t MicrorebootManager::RecoverDetected(Server* server, SimTime suspected_since,
+                                           Cycles restart_cycles) {
+  const size_t index = incidents_.size();
+  incidents_.push_back(Incident{server->name(), suspected_since, sim_->Now(), 0});
+  if (!server->crashed()) {
+    server->Crash();  // the cure for a hang: kill it so the reboot is clean
+  }
+  server->Restart(restart_cycles,
+                  [this, index] { incidents_[index].recovered_at = sim_->Now(); });
+  return index;
+}
+
 bool MicrorebootManager::AllRecovered() const {
   for (const Incident& i : incidents_) {
     if (i.recovered_at == 0) {

@@ -39,6 +39,12 @@ class MicrorebootManager {
   // automatically. Returns the incident index.
   size_t InjectCrash(Server* server, SimTime at, Cycles restart_cycles);
 
+  // Watchdog escalation path: a monitor concluded (now) that `server` is
+  // unresponsive since `suspected_since` (its last sign of life). If the
+  // server is not already dead — a hang or livelock — it is killed first;
+  // then it is rebooted. Returns the incident index.
+  size_t RecoverDetected(Server* server, SimTime suspected_since, Cycles restart_cycles);
+
   const std::vector<Incident>& incidents() const { return incidents_; }
 
   // True once every injected incident has completed recovery.

@@ -201,6 +201,10 @@ void MonolithicStack::HandleSockRequest(const Msg& msg) {
 void MonolithicStack::Handle(const Msg& msg) {
   switch (msg.type) {
     case MsgType::kPacketRx:
+      if (msg.packet->corrupt != 0) {
+        ++rx_checksum_drops_;  // fused path verifies IP and L4 in one pass
+        break;
+      }
       ++packets_in_;
       if (msg.packet->ip.dst == addr_ && msg.packet->ip.proto == IpProto::kTcp) {
         host_->OnPacket(msg.packet);

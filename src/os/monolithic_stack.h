@@ -69,6 +69,8 @@ class MonolithicStack : public Server {
   const MonolithicCosts& costs() const { return costs_; }
   uint64_t packets_in() const { return packets_in_; }
   uint64_t packets_out() const { return packets_out_; }
+  // Inbound packets discarded because a checksum would not verify.
+  uint64_t rx_checksum_drops() const { return rx_checksum_drops_; }
 
  protected:
   Cycles CostFor(const Msg& msg) override;
@@ -110,6 +112,7 @@ class MonolithicStack : public Server {
 
   uint64_t packets_in_ = 0;
   uint64_t packets_out_ = 0;
+  uint64_t rx_checksum_drops_ = 0;
 };
 
 }  // namespace newtos

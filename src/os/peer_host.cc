@@ -14,6 +14,10 @@ PeerHost::PeerHost(Simulation* sim, Ipv4Addr addr, Nic* nic, TcpParams tcp_param
 void PeerHost::DrainRx() {
   // Zero-cost host: the ring drains instantly.
   while (PacketPtr p = nic_->PollRx()) {
+    if (p->corrupt != 0) {
+      ++rx_checksum_drops_;  // any failed checksum: discard at the edge
+      continue;
+    }
     if (p->ip.proto == IpProto::kTcp) {
       tcp_->OnPacket(p);
     } else if (p->ip.proto == IpProto::kUdp) {

@@ -40,6 +40,8 @@ class PeerHost {
   Nic* nic() { return nic_; }
 
   uint64_t tx_ring_full_drops() const { return tx_ring_full_drops_; }
+  // Inbound frames discarded because a checksum (IP or L4) would not verify.
+  uint64_t rx_checksum_drops() const { return rx_checksum_drops_; }
 
   // Raw packet transmission (used by the ping workload).
   void SendPacket(PacketPtr p) { Output(std::move(p)); }
@@ -58,6 +60,7 @@ class PeerHost {
   std::unique_ptr<UdpHost> udp_;
   std::function<void(const PacketPtr&)> icmp_handler_;
   uint64_t tx_ring_full_drops_ = 0;
+  uint64_t rx_checksum_drops_ = 0;
 };
 
 }  // namespace newtos

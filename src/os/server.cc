@@ -37,6 +37,8 @@ const char* MsgTypeName(MsgType t) {
       return "CtlCrash";
     case MsgType::kCtlRestart:
       return "CtlRestart";
+    case MsgType::kCtlHeartbeat:
+      return "CtlHeartbeat";
   }
   return "?";
 }
@@ -57,6 +59,15 @@ Server::Chan* Server::CreateInput(const std::string& chan_name, size_t capacity,
       .overhead_cycles = cost.dequeue_cycles,
   });
   return ch;
+}
+
+std::vector<Server::Chan*> Server::Inputs() const {
+  std::vector<Chan*> out;
+  out.reserve(owned_inputs_.size());
+  for (const auto& ch : owned_inputs_) {
+    out.push_back(ch.get());
+  }
+  return out;
 }
 
 void Server::AddWorkSource(WorkSource source) { sources_.push_back(std::move(source)); }
@@ -99,7 +110,7 @@ void Server::NotifyIdleChange() {
 }
 
 void Server::MaybeSchedule() {
-  if (processing_ || crashed_) {
+  if (processing_ || crashed_ || hung_) {
     return;
   }
   assert(core_ != nullptr && "server must be bound to a core before traffic flows");
@@ -117,7 +128,11 @@ void Server::MaybeSchedule() {
   Cycles cost = 0;
   for (int n = 0; n < source_batch_limit_ && src->has_work(); ++n) {
     Msg msg = src->take();
-    cost += src->overhead_cycles + CostFor(msg);
+    // Heartbeat probes bypass the subclass: answered at a fixed base-class
+    // cost. (The watchdog itself has no heartbeat_out_ — the acks it receives
+    // are ordinary messages to it.)
+    const bool probe = msg.type == MsgType::kCtlHeartbeat && heartbeat_out_ != nullptr;
+    cost += src->overhead_cycles + (probe ? kHeartbeatAckCycles : CostFor(msg));
     batch_.push_back(std::move(msg));
   }
   if (core_->SetTenant(this)) {
@@ -134,12 +149,63 @@ void Server::MaybeSchedule() {
     executing_.swap(batch_);
     for (const Msg& msg : executing_) {
       ++messages_processed_;
-      Handle(msg);
+      if (msg.type == MsgType::kCtlHeartbeat && heartbeat_out_ != nullptr) {
+        AckHeartbeat(msg);
+      } else {
+        Handle(msg);
+      }
     }
     executing_.clear();
     processing_ = false;
     MaybeSchedule();
   });
+}
+
+void Server::EnableHeartbeat(Chan* ack_out, uint64_t id) {
+  heartbeat_out_ = ack_out;
+  heartbeat_id_ = id;
+}
+
+void Server::AckHeartbeat(const Msg& probe) {
+  if (heartbeat_out_ == nullptr) {
+    return;  // probe arrived before the watchdog wired the ack path
+  }
+  Msg ack;
+  ack.type = MsgType::kCtlHeartbeat;
+  ack.handle = heartbeat_id_;
+  ack.value = probe.value;  // echo the sequence number
+  ++heartbeats_acked_;
+  Emit(heartbeat_out_, std::move(ack));
+}
+
+void Server::Hang() {
+  if (crashed_ || hung_) {
+    return;
+  }
+  NEWTOS_LOG(kInfo, sim_->Now(), name_, "HANG injected (gen " << generation_ << ")");
+  hung_ = true;
+}
+
+void Server::Livelock(Cycles busy_cycles) {
+  if (crashed_) {
+    return;
+  }
+  const bool was_hung = hung_;
+  Hang();
+  if (was_hung) {
+    return;  // already spinning or silently hung; don't stack spin loops
+  }
+  NEWTOS_LOG(kInfo, sim_->Now(), name_, "LIVELOCK: spinning " << busy_cycles << " cycles/slice");
+  livelock_slice_ = busy_cycles > 0 ? busy_cycles : 1;
+  LivelockSpin(generation_);
+}
+
+void Server::LivelockSpin(uint64_t gen) {
+  if (gen != generation_ || !hung_) {
+    return;  // crashed (the cure) — the spin dies with the address space
+  }
+  assert(core_ != nullptr);
+  core_->Execute(livelock_slice_, [this, gen] { LivelockSpin(gen); });
 }
 
 void Server::Crash() {
@@ -148,6 +214,7 @@ void Server::Crash() {
   }
   NEWTOS_LOG(kInfo, sim_->Now(), name_, "CRASH injected (gen " << generation_ << ")");
   crashed_ = true;
+  hung_ = false;  // the kill cures a hang/livelock; the restart resumes clean
   ++generation_;  // invalidates the in-flight completion, if any
   processing_ = false;
   // The burst waiting on the core dies with the address space. It was never

@@ -57,6 +57,9 @@ class Server {
   Chan* CreateInput(const std::string& chan_name, size_t capacity,
                     const ChannelCostModel& cost = {});
 
+  // Every input channel this server owns (for fault taps and introspection).
+  std::vector<Chan*> Inputs() const;
+
   // Registers a custom work source (e.g. the NIC RX ring).
   struct WorkSource {
     std::function<bool()> has_work;
@@ -78,8 +81,28 @@ class Server {
   // processing resumes. No-op if not crashed.
   void Restart(Cycles restart_cycles, std::function<void()> on_ready = nullptr);
 
+  // Hangs the server: the poll loop stops draining sources (messages pile
+  // up, heartbeats go unanswered) but the process is not dead — no crash is
+  // observable, which is exactly the fault a keepalive watchdog exists to
+  // catch. A burst already on the core completes. Cured by Crash()+Restart()
+  // (the watchdog's escalation path).
+  void Hang();
+
+  // Livelock: hangs as above, but additionally keeps the core busy in
+  // `busy_cycles` slices forever — the server spins without progress,
+  // starving co-located tenants. The spin dies with the next Crash().
+  void Livelock(Cycles busy_cycles);
+
   bool crashed() const { return crashed_; }
+  bool hung() const { return hung_; }
   uint64_t generation() const { return generation_; }
+
+  // Watchdog wiring (src/fault/watchdog.h): once enabled, the server answers
+  // every kCtlHeartbeat on its inputs by echoing the sequence number into
+  // `ack_out` tagged with `id`, at a fixed small cycle cost. A hung, livelocked
+  // or crashed server stops answering — that silence is the detection signal.
+  void EnableHeartbeat(Chan* ack_out, uint64_t id);
+  uint64_t heartbeats_acked() const { return heartbeats_acked_; }
 
   // --- Statistics ---
   uint64_t messages_processed() const { return messages_processed_; }
@@ -124,6 +147,12 @@ class Server {
  private:
   void NotifyIdleChange();
   WorkSource* PickSource();
+  void LivelockSpin(uint64_t gen);
+  void AckHeartbeat(const Msg& probe);
+
+  // Cycle cost of answering one heartbeat probe (bypasses CostFor: the ack
+  // is base-class behaviour, cheaper than any protocol message).
+  static constexpr Cycles kHeartbeatAckCycles = 150;
 
   Simulation* sim_;
   std::string name_;
@@ -144,9 +173,14 @@ class Server {
   std::vector<Msg> executing_;
   bool processing_ = false;
   bool crashed_ = false;
+  bool hung_ = false;
+  Cycles livelock_slice_ = 0;
   uint64_t generation_ = 0;
   uint64_t messages_processed_ = 0;
   uint64_t messages_lost_to_crash_ = 0;
+  Chan* heartbeat_out_ = nullptr;
+  uint64_t heartbeat_id_ = 0;
+  uint64_t heartbeats_acked_ = 0;
   bool last_reported_idle_ = true;
   std::function<void(bool)> idle_observer_;
 };

@@ -62,6 +62,12 @@ struct StackConfig {
   // Cold-cache penalty when co-located servers alternate on one core.
   Cycles tenant_switch_cycles = 250;
 
+  // Core the fault tooling pins a WatchdogServer to (src/fault/watchdog.h).
+  // Placement only — the stack itself never builds a watchdog. The default
+  // shares the app core: heartbeat traffic is tiny and must not steal cycles
+  // from the stack stages whose liveness it measures.
+  int watchdog_core = 0;
+
   DriverCosts driver;
   IpCosts ip;
   PfCosts pf;

@@ -73,6 +73,9 @@ class TcpServer : public Server {
   uint64_t segments_in() const { return segments_in_; }
   uint64_t segments_out() const { return segments_out_; }
   uint64_t events_out() const { return events_out_; }
+  // Segments discarded on RX because the TCP checksum would not verify
+  // (Packet::corrupt carries kCorruptL4 from wire fault injection).
+  uint64_t rx_checksum_drops() const { return rx_checksum_drops_; }
 
  protected:
   Cycles CostFor(const Msg& msg) override;
@@ -124,6 +127,7 @@ class TcpServer : public Server {
   uint64_t segments_in_ = 0;
   uint64_t segments_out_ = 0;
   uint64_t events_out_ = 0;
+  uint64_t rx_checksum_drops_ = 0;
 };
 
 }  // namespace newtos

@@ -79,6 +79,10 @@ Cycles UdpServer::CostFor(const Msg& msg) {
 void UdpServer::Handle(const Msg& msg) {
   switch (msg.type) {
     case MsgType::kPacketRx:
+      if (msg.packet->corrupt != 0) {
+        ++rx_checksum_drops_;  // UDP checksum mismatch (pseudo-header included)
+        break;
+      }
       ++datagrams_in_;
       host_->OnPacket(msg.packet);
       break;

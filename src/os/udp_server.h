@@ -34,6 +34,8 @@ class UdpServer : public Server {
   UdpHost& host() { return *host_; }
   uint64_t datagrams_in() const { return datagrams_in_; }
   uint64_t datagrams_out() const { return datagrams_out_; }
+  // Datagrams discarded on RX because the UDP checksum would not verify.
+  uint64_t rx_checksum_drops() const { return rx_checksum_drops_; }
 
  protected:
   Cycles CostFor(const Msg& msg) override;
@@ -66,6 +68,7 @@ class UdpServer : public Server {
 
   uint64_t datagrams_in_ = 0;
   uint64_t datagrams_out_ = 0;
+  uint64_t rx_checksum_drops_ = 0;
 };
 
 }  // namespace newtos
