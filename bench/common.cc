@@ -97,4 +97,13 @@ std::string CsvPath(const char* argv0, const std::string& name) {
   return results + "/" + name + ".csv";
 }
 
+bool WriteBenchCsv(const Table& t, const char* argv0, const std::string& name) {
+  const std::string path = CsvPath(argv0, name);
+  if (!t.WriteCsvFile(path)) {
+    std::fprintf(stderr, "warning: failed to write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace newtos

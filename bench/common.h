@@ -15,6 +15,7 @@
 
 #include "src/core/testbed.h"
 #include "src/metrics/histogram.h"
+#include "src/metrics/table.h"
 #include "src/workload/httpd.h"
 #include "src/workload/iperf.h"
 
@@ -59,6 +60,11 @@ std::string GhzStr(FreqKhz f);
 
 // Resolves the CSV output path next to the binary: "<name>.csv".
 std::string CsvPath(const char* argv0, const std::string& name);
+
+// Writes `t` to CsvPath(argv0, name) and warns on stderr if the write fails
+// (full disk, unwritable results dir). Returns false on failure so benches
+// can propagate it as an exit code.
+bool WriteBenchCsv(const Table& t, const char* argv0, const std::string& name);
 
 }  // namespace newtos
 

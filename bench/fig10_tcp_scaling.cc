@@ -66,7 +66,7 @@ void Run(const char* argv0) {
               Table::Num(http.responses_per_sec / 1e3, 1), Table::Num(bulk.avg_pkg_watts, 1)});
   }
   t.Print(std::cout, "Fig.10 — TCP server shards on 1.2 GHz cores (driver/IP @3.6)");
-  t.WriteCsvFile(CsvPath(argv0, "fig10_tcp_scaling"));
+  WriteBenchCsv(t, argv0, "fig10_tcp_scaling");
 }
 
 }  // namespace

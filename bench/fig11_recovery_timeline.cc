@@ -66,7 +66,7 @@ void Run(const char* argv0) {
     t.AddRow({Table::Int(rel / kMillisecond), Table::Num(p.value, 2), bar, event});
   }
   t.Print(std::cout, "Fig.11 — goodput per 10 ms bucket across two microreboots");
-  t.WriteCsvFile(CsvPath(argv0, "fig11_recovery_timeline"));
+  WriteBenchCsv(t, argv0, "fig11_recovery_timeline");
 
   std::cout << "incidents:\n";
   for (const auto& inc : mgr.incidents()) {

@@ -41,7 +41,7 @@ void Run(const char* argv0) {
               Table::Int(static_cast<int64_t>(ping.received()))});
   }
   t.Print(std::cout, "Fig.12 — ICMP echo RTT vs. driver/IP core frequency");
-  t.WriteCsvFile(CsvPath(argv0, "fig12_ping_latency"));
+  WriteBenchCsv(t, argv0, "fig12_ping_latency");
 }
 
 }  // namespace

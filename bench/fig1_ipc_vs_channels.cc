@@ -62,7 +62,7 @@ void Run(const char* argv0) {
               Table::Num(k_rate / 1e6, 2) + "M", Table::Num(c_rate / 1e6, 2) + "M"});
   }
   t.Print(std::cout, "Fig.1 — one-way message cost: kernel IPC vs. async channel (3.6 GHz)");
-  t.WriteCsvFile(CsvPath(argv0, "fig1_ipc_vs_channels"));
+  WriteBenchCsv(t, argv0, "fig1_ipc_vs_channels");
 
   // Cross-check via simulated ping-pong at 64 B.
   const double k_pp = SimulatedPingPongMsgsPerSec(kernel.OneWayCycles(64), freq);

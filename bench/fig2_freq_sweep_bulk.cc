@@ -31,7 +31,7 @@ void Run(const char* argv0) {
               Table::Num(r.avg_pkg_watts, 1)});
   }
   t.Print(std::cout, "Fig.2 — bulk TCP TX goodput vs. system-core frequency (app @3.6GHz)");
-  t.WriteCsvFile(CsvPath(argv0, "fig2_freq_sweep_bulk"));
+  WriteBenchCsv(t, argv0, "fig2_freq_sweep_bulk");
 }
 
 }  // namespace

@@ -26,7 +26,7 @@ void Run(const char* argv0) {
               Table::Pct(r.core_util[0])});
   }
   t.Print(std::cout, "Fig.3 — per-stage core utilization vs. system-core frequency");
-  t.WriteCsvFile(CsvPath(argv0, "fig3_stage_utilization"));
+  WriteBenchCsv(t, argv0, "fig3_stage_utilization");
 }
 
 }  // namespace

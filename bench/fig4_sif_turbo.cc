@@ -66,7 +66,7 @@ void Run(const char* argv0) {
           "Fig.4 — slower-is-faster: dynamic-content req/s vs. stack frequency (38 W budget)");
   std::cout << "  (no-steering baseline: stack @3.6, app @" << GhzStr(base.app_freq) << ", "
             << base.responses_per_sec / 1e3 << "k req/s)\n";
-  t.WriteCsvFile(CsvPath(argv0, "fig4_sif_turbo"));
+  WriteBenchCsv(t, argv0, "fig4_sif_turbo");
 }
 
 }  // namespace

@@ -33,7 +33,7 @@ void Run(const char* argv0) {
               Table::Num(static_cast<double>(r.p99) / kMicrosecond, 1)});
   }
   t.Print(std::cout, "Fig.5 — HTTP latency vs. system-core frequency (8 conns, 8 KiB)");
-  t.WriteCsvFile(CsvPath(argv0, "fig5_latency"));
+  WriteBenchCsv(t, argv0, "fig5_latency");
 }
 
 }  // namespace

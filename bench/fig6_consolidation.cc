@@ -59,7 +59,7 @@ void Run(const char* argv0) {
   }
 
   t.Print(std::cout, "Fig.6 — consolidation: bulk TCP goodput and power by architecture");
-  t.WriteCsvFile(CsvPath(argv0, "fig6_consolidation"));
+  WriteBenchCsv(t, argv0, "fig6_consolidation");
 }
 
 }  // namespace

@@ -67,7 +67,7 @@ void Run(const char* argv0) {
               Table::Num(halt.watts, 1), Table::Pct(1.0 - halt.watts / poll.watts)});
   }
   t.Print(std::cout, "Fig.7 — poll-always vs. halt-when-idle across offered UDP load");
-  t.WriteCsvFile(CsvPath(argv0, "fig7_poll_vs_halt"));
+  WriteBenchCsv(t, argv0, "fig7_poll_vs_halt");
 }
 
 }  // namespace

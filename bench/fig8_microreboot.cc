@@ -91,7 +91,7 @@ void Run(const char* argv0) {
     }
   }
   t.Print(std::cout, "Fig.8 — microreboot during bulk transfer, by victim and stack frequency");
-  t.WriteCsvFile(CsvPath(argv0, "fig8_microreboot"));
+  WriteBenchCsv(t, argv0, "fig8_microreboot");
 }
 
 }  // namespace

@@ -50,7 +50,7 @@ void Run(const char* argv0) {
   }
 
   t.Print(std::cout, "Fig.9 — heterogeneous multicore: system servers on little cores");
-  t.WriteCsvFile(CsvPath(argv0, "fig9_wimpy_cores"));
+  WriteBenchCsv(t, argv0, "fig9_wimpy_cores");
 }
 
 }  // namespace

@@ -11,17 +11,24 @@
 //              BENCH_engine.json at the repo root (override with --out PATH)
 //   --check    short window asserting allocations/event == 0 in steady
 //              state; exits non-zero on regression. Wired into ctest.
+//   --trace M  M = off (no tracer built), wired (full tracing wired but
+//              disabled — the shipping configuration), on (recording with
+//              samplers). The --check gate passes in *all three* modes: the
+//              trace fast path is a POD copy into a preallocated ring.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <new>
 #include <string>
 
 #include "src/core/steering.h"
 #include "src/core/testbed.h"
+#include "src/metrics/report.h"
+#include "src/trace/stack_trace.h"
 #include "src/workload/iperf.h"
 
 // --- Counting allocator hook -----------------------------------------------
@@ -77,11 +84,26 @@ namespace {
 #define NEWTOS_REPO_ROOT "."
 #endif
 
+enum class TraceMode { kOff, kWired, kOn };
+
+const char* TraceModeName(TraceMode m) {
+  switch (m) {
+    case TraceMode::kOff:
+      return "off";
+    case TraceMode::kWired:
+      return "wired";
+    case TraceMode::kOn:
+      return "on";
+  }
+  return "?";
+}
+
 struct PerfResult {
   uint64_t events = 0;
   uint64_t packets = 0;
   uint64_t allocs = 0;
   uint64_t alloc_bytes = 0;
+  uint64_t trace_events = 0;
   double wall_seconds = 0.0;
   double goodput_gbps = 0.0;
   double sim_window_ms = 0.0;
@@ -96,7 +118,7 @@ struct PerfResult {
 // The fig2 first sweep point: all cores at base clock, bulk TCP TX at line
 // rate. Steady state is pure engine churn: segments, ACKs, channel hops,
 // core work items, delayed-ACK timers.
-PerfResult MeasureEngine(SimTime window) {
+PerfResult MeasureEngine(SimTime window, TraceMode trace_mode) {
   TestbedOptions options;
   Testbed tb(options);
   DedicatedSlowPlan(*tb.stack(), 3'600'000 * kKhz, 3'600'000 * kKhz).Apply(tb.machine());
@@ -106,6 +128,19 @@ PerfResult MeasureEngine(SimTime window) {
   sp.dst = tb.peer_addr();
   IperfSender sender(api, sp);
   IperfPeerSink sink(&tb.peer());
+
+  // Trace wiring happens before warm-up so the recorder ring, sampler
+  // probes, and burst-duration buffers all reach steady state inside it.
+  std::unique_ptr<StackTracer> tracer;
+  if (trace_mode != TraceMode::kOff) {
+    StackTracer::Options topt;
+    topt.ring_capacity = 1 << 18;
+    tracer = std::make_unique<StackTracer>(&tb.sim(), tb.stack(), topt);
+    if (trace_mode == TraceMode::kOn) {
+      tracer->Enable();
+    }
+  }
+
   sender.Start();
 
   // Warm-up: connection setup, slow start, and every pool/ring growing to
@@ -131,58 +166,66 @@ PerfResult MeasureEngine(SimTime window) {
   r.wall_seconds = std::chrono::duration<double>(wall1 - wall0).count();
   r.goodput_gbps = sink.window().GbitsPerSec(tb.sim().Now());
   r.sim_window_ms = ToSeconds(window) * 1e3;
+  r.trace_events = tracer != nullptr ? tracer->recorder().recorded() : 0;
   return r;
 }
 
-bool WriteJson(const PerfResult& r, const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
+bool WriteJson(const PerfResult& r, TraceMode trace_mode, const std::string& path) {
+  JsonWriter w;
+  w.Str("bench", "perf_engine")
+      .Str("scenario", "fig2_bulk_tx_base_clock")
+      .Str("trace", TraceModeName(trace_mode))
+      .Num("sim_window_ms", r.sim_window_ms, 1)
+      .Uint("events", r.events)
+      .Uint("packets", r.packets)
+      .Num("wall_seconds", r.wall_seconds, 6)
+      .Num("events_per_sec", r.events_per_sec(), 0)
+      .Num("packets_per_sec", r.packets_per_sec(), 0)
+      .Uint("allocs", r.allocs)
+      .Uint("alloc_bytes", r.alloc_bytes)
+      .Num("allocs_per_event", r.allocs_per_event(), 6)
+      .Uint("trace_events", r.trace_events)
+      .Num("goodput_gbps", r.goodput_gbps, 3);
+  if (!WriteFileChecked(path, w.Finish())) {
     std::fprintf(stderr, "perf_engine: cannot write %s\n", path.c_str());
     return false;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"perf_engine\",\n"
-               "  \"scenario\": \"fig2_bulk_tx_base_clock\",\n"
-               "  \"sim_window_ms\": %.1f,\n"
-               "  \"events\": %llu,\n"
-               "  \"packets\": %llu,\n"
-               "  \"wall_seconds\": %.6f,\n"
-               "  \"events_per_sec\": %.0f,\n"
-               "  \"packets_per_sec\": %.0f,\n"
-               "  \"allocs\": %llu,\n"
-               "  \"alloc_bytes\": %llu,\n"
-               "  \"allocs_per_event\": %.6f,\n"
-               "  \"goodput_gbps\": %.3f\n"
-               "}\n",
-               r.sim_window_ms, static_cast<unsigned long long>(r.events),
-               static_cast<unsigned long long>(r.packets), r.wall_seconds, r.events_per_sec(),
-               r.packets_per_sec(), static_cast<unsigned long long>(r.allocs),
-               static_cast<unsigned long long>(r.alloc_bytes), r.allocs_per_event(),
-               r.goodput_gbps);
-  std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
   return true;
 }
 
 int Run(int argc, char** argv) {
   bool check = false;
+  TraceMode trace_mode = TraceMode::kOff;
   std::string out = std::string(NEWTOS_REPO_ROOT) + "/BENCH_engine.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "off") == 0) {
+        trace_mode = TraceMode::kOff;
+      } else if (std::strcmp(mode, "wired") == 0) {
+        trace_mode = TraceMode::kWired;
+      } else if (std::strcmp(mode, "on") == 0) {
+        trace_mode = TraceMode::kOn;
+      } else {
+        std::fprintf(stderr, "unknown --trace mode '%s' (off|wired|on)\n", mode);
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--check] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--check] [--trace off|wired|on] [--out PATH]\n", argv[0]);
       return 2;
     }
   }
 
   const SimTime window = check ? 50 * kMillisecond : 500 * kMillisecond;
-  const PerfResult r = MeasureEngine(window);
+  const PerfResult r = MeasureEngine(window, trace_mode);
 
-  std::printf("perf_engine — fig2-style bulk TCP TX, %0.0f ms simulated window\n", r.sim_window_ms);
+  std::printf("perf_engine — fig2-style bulk TCP TX, %0.0f ms simulated window (trace %s)\n",
+              r.sim_window_ms, TraceModeName(trace_mode));
   std::printf("  events            %12llu\n", static_cast<unsigned long long>(r.events));
   std::printf("  packets           %12llu\n", static_cast<unsigned long long>(r.packets));
   std::printf("  wall seconds      %12.4f\n", r.wall_seconds);
@@ -192,6 +235,7 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(r.allocs),
               static_cast<unsigned long long>(r.alloc_bytes));
   std::printf("  allocs/event      %12.6f\n", r.allocs_per_event());
+  std::printf("  trace events      %12llu\n", static_cast<unsigned long long>(r.trace_events));
   std::printf("  goodput           %12.3f Gbit/s\n", r.goodput_gbps);
 
   if (check) {
@@ -202,11 +246,11 @@ int Run(int argc, char** argv) {
                    static_cast<unsigned long long>(r.allocs), r.allocs_per_event());
       return 1;
     }
-    std::printf("OK: steady state is allocation-free\n");
+    std::printf("OK: steady state is allocation-free (trace %s)\n", TraceModeName(trace_mode));
     return 0;
   }
 
-  return WriteJson(r, out) ? 0 : 1;
+  return WriteJson(r, trace_mode, out) ? 0 : 1;
 }
 
 }  // namespace

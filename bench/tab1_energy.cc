@@ -66,7 +66,7 @@ void Run(const char* argv0) {
   }
 
   t.Print(std::cout, "Tab.1 — energy per gigabit by configuration (bulk TCP TX)");
-  t.WriteCsvFile(CsvPath(argv0, "tab1_energy"));
+  WriteBenchCsv(t, argv0, "tab1_energy");
 }
 
 }  // namespace

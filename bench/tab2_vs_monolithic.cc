@@ -85,7 +85,7 @@ void Run(const char* argv0) {
   }
 
   t.Print(std::cout, "Tab.2 — multiserver (slow stack + halt) vs. monolithic baseline");
-  t.WriteCsvFile(CsvPath(argv0, "tab2_vs_monolithic"));
+  WriteBenchCsv(t, argv0, "tab2_vs_monolithic");
 }
 
 }  // namespace

@@ -68,7 +68,7 @@ void Run(const char* argv0) {
   AddRow(t, "consolidated@3.2: burst 1", measure(true, 1, Layout::kConsolidated));
 
   t.Print(std::cout, "Tab.4 — ablation: driver RX batching and server burst drains");
-  t.WriteCsvFile(CsvPath(argv0, "tab4_batching_ablation"));
+  WriteBenchCsv(t, argv0, "tab4_batching_ablation");
 }
 
 }  // namespace

@@ -51,7 +51,7 @@ void Run(const char* argv0) {
               Table::Pct(1.0 - churn / ka)});
   }
   t.Print(std::cout, "Tab.5 — connection-per-request churn vs. keep-alive, by stack frequency");
-  t.WriteCsvFile(CsvPath(argv0, "tab5_conn_churn"));
+  WriteBenchCsv(t, argv0, "tab5_conn_churn");
 }
 
 }  // namespace

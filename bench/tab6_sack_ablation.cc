@@ -62,7 +62,7 @@ void Run(const char* argv0) {
               Table::Int(static_cast<int64_t>(sack.timeouts))});
   }
   t.Print(std::cout, "Tab.6 — SACK vs. NewReno through the multiserver stack, lossy link");
-  t.WriteCsvFile(CsvPath(argv0, "tab6_sack_ablation"));
+  WriteBenchCsv(t, argv0, "tab6_sack_ablation");
 }
 
 }  // namespace

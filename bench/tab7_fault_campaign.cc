@@ -27,7 +27,7 @@ void Run(const char* argv0) {
 
   Table t = runner.ToTable();
   t.Print(std::cout, "Tab.7 — fault-injection campaign, resilience by fault class and stack frequency");
-  t.WriteCsvFile(CsvPath(argv0, "tab7_fault_campaign"));
+  WriteBenchCsv(t, argv0, "tab7_fault_campaign");
 
   int pass = 0;
   for (const CampaignCell& c : runner.cells()) {

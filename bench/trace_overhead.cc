@@ -1,0 +1,178 @@
+// Trace overhead bench: how much does the tracing subsystem cost?
+//
+// Runs the fig2-style bulk-TCP scenario three times:
+//   off    no tracer constructed (baseline engine)
+//   wired  StackTracer constructed and every hook wired, recorder disabled —
+//          the shipping configuration; the hot-path cost is one branch
+//   on     recorder enabled with samplers, events land in the ring
+//
+// Each rep runs the three modes back-to-back and the reported overhead is
+// the median per-rep slowdown ratio (see the comment in Run() for why).
+// The result is written to BENCH_trace.json at the repo root. The acceptance
+// targets from the design: `wired` within noise of `off`, `on` within a few
+// percent.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/steering.h"
+#include "src/core/testbed.h"
+#include "src/metrics/report.h"
+#include "src/trace/stack_trace.h"
+#include "src/workload/iperf.h"
+
+namespace newtos {
+namespace {
+
+#ifndef NEWTOS_REPO_ROOT
+#define NEWTOS_REPO_ROOT "."
+#endif
+
+enum class TraceMode { kOff, kWired, kOn };
+
+const char* TraceModeName(TraceMode m) {
+  switch (m) {
+    case TraceMode::kOff:
+      return "off";
+    case TraceMode::kWired:
+      return "wired";
+    case TraceMode::kOn:
+      return "on";
+  }
+  return "?";
+}
+
+struct Sample {
+  uint64_t events = 0;
+  uint64_t trace_events = 0;
+  double wall_seconds = 0.0;
+
+  double events_per_sec() const { return static_cast<double>(events) / wall_seconds; }
+};
+
+Sample MeasureOnce(SimTime window, TraceMode mode) {
+  TestbedOptions options;
+  Testbed tb(options);
+  DedicatedSlowPlan(*tb.stack(), 3'600'000 * kKhz, 3'600'000 * kKhz).Apply(tb.machine());
+
+  SocketApi* api = tb.stack()->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params sp;
+  sp.dst = tb.peer_addr();
+  IperfSender sender(api, sp);
+  IperfPeerSink sink(&tb.peer());
+
+  std::unique_ptr<StackTracer> tracer;
+  if (mode != TraceMode::kOff) {
+    StackTracer::Options topt;
+    topt.ring_capacity = 1 << 18;
+    tracer = std::make_unique<StackTracer>(&tb.sim(), tb.stack(), topt);
+    if (mode == TraceMode::kOn) {
+      tracer->Enable();
+    }
+  }
+
+  sender.Start();
+  tb.sim().RunFor(150 * kMillisecond);
+
+  const uint64_t events0 = tb.sim().events_processed();
+  const auto wall0 = std::chrono::steady_clock::now();
+  tb.sim().RunFor(window);
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  Sample s;
+  s.events = tb.sim().events_processed() - events0;
+  s.wall_seconds = std::chrono::duration<double>(wall1 - wall0).count();
+  s.trace_events = tracer != nullptr ? tracer->recorder().recorded() : 0;
+  return s;
+}
+
+int Run(int argc, char** argv) {
+  int reps = 5;
+  SimTime window = 300 * kMillisecond;
+  std::string out = std::string(NEWTOS_REPO_ROOT) + "/BENCH_trace.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--reps N] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("trace_overhead — fig2-style bulk TCP TX, %0.0f ms window, best of %d\n",
+              ToSeconds(window) * 1e3, reps);
+
+  // Machine-wide noise (thermal, noisy neighbours) swamps a naive best-of
+  // comparison: independent bests for each mode can land in different noise
+  // regimes and swing the apparent overhead by several points either way.
+  // Instead each rep runs the three modes back-to-back — drift within one
+  // rep is highly correlated, so the per-rep slowdown ratio mostly cancels
+  // it — and the reported overhead is the median ratio across reps (robust
+  // to individual reps disturbed in either direction).
+  Sample samples[3];
+  std::vector<double> wired_pcts;
+  std::vector<double> on_pcts;
+  const TraceMode modes[3] = {TraceMode::kOff, TraceMode::kWired, TraceMode::kOn};
+  for (int rep = 0; rep < reps; ++rep) {
+    Sample s[3];
+    for (int i = 0; i < 3; ++i) {
+      s[i] = MeasureOnce(window, modes[i]);
+      if (samples[i].wall_seconds == 0.0 ||
+          s[i].events_per_sec() > samples[i].events_per_sec()) {
+        samples[i] = s[i];
+      }
+    }
+    const double base = s[0].events_per_sec();
+    const double w = (base - s[1].events_per_sec()) / base * 100.0;
+    const double o = (base - s[2].events_per_sec()) / base * 100.0;
+    std::printf("  rep %d: off %10.0f  wired %10.0f (%+.2f%%)  on %10.0f (%+.2f%%)\n",
+                rep, base, s[1].events_per_sec(), w, s[2].events_per_sec(), o);
+    wired_pcts.push_back(w);
+    on_pcts.push_back(o);
+  }
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    const size_t n = v.size();
+    return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+  };
+  const double wired_pct = median(wired_pcts);
+  const double on_pct = median(on_pcts);
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  %-6s %12.0f events/s best  (%llu events, %llu trace events)\n",
+                TraceModeName(modes[i]), samples[i].events_per_sec(),
+                static_cast<unsigned long long>(samples[i].events),
+                static_cast<unsigned long long>(samples[i].trace_events));
+  }
+  std::printf("  overhead (median per-rep ratio): wired %+.2f%%, on %+.2f%%\n", wired_pct,
+              on_pct);
+
+  JsonWriter w;
+  w.Str("bench", "trace_overhead")
+      .Str("scenario", "fig2_bulk_tx_base_clock")
+      .Num("sim_window_ms", ToSeconds(window) * 1e3, 1)
+      .Int("reps", reps)
+      .Num("events_per_sec_off", samples[0].events_per_sec(), 0)
+      .Num("events_per_sec_wired", samples[1].events_per_sec(), 0)
+      .Num("events_per_sec_on", samples[2].events_per_sec(), 0)
+      .Num("overhead_wired_pct", wired_pct, 2)
+      .Num("overhead_on_pct", on_pct, 2)
+      .Uint("trace_events_on", samples[2].trace_events);
+  if (!WriteFileChecked(out, w.Finish())) {
+    std::fprintf(stderr, "trace_overhead: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace newtos
+
+int main(int argc, char** argv) { return newtos::Run(argc, argv); }

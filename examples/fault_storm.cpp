@@ -16,6 +16,12 @@
 // recovery incident — and the transfer's goodput before, during, and after
 // the storm. Same binary, same output, every run: the storm is a pure
 // function of the seed.
+//
+// The storm second is also recorded with the tracing subsystem and exported
+// to trace_fault_storm.json — load it at https://ui.perfetto.dev to see the
+// hang/livelock/crash outages as async spans on the "recovery" track, the
+// heartbeat traffic on the watchdog track, and the retransmission bursts
+// that refill the pipeline after each microreboot.
 
 #include <cstdio>
 
@@ -58,6 +64,13 @@ int main() {
   for (Server* s : stack->SystemServers()) {
     watchdog.Watch(s, RestartFor(stack->config(), s->name()));
   }
+
+  // Tracing: the stack tracer wires every stage; the watchdog joins after
+  // its Watch() calls (so its input rings exist) and the microreboot manager
+  // routes outage windows onto the "recovery" track.
+  StackTracer tracer(&tb.sim(), stack);
+  tracer.AddServer(&watchdog);
+  tracer.AddMicroreboot(&mgr);
 
   // The storm: background channel/wire noise plus three staggered
   // server-level faults, all from one seed.
@@ -111,7 +124,9 @@ int main() {
 
   std::printf("stack cores at 1.2 GHz, app core at 3.6 GHz\n\n");
   std::printf("calm before the storm:  %5.2f Gbit/s\n", WindowGbps(sink, tb, 100 * kMillisecond));
+  tracer.Enable();
   std::printf("storm second:           %5.2f Gbit/s\n", WindowGbps(sink, tb, kSecond));
+  tracer.Disable();
   std::printf("after the storm:        %5.2f Gbit/s\n", WindowGbps(sink, tb, 200 * kMillisecond));
 
   std::printf("\ninjections (server-level):\n");
@@ -146,6 +161,15 @@ int main() {
   }
   std::printf("\ncorrupt segments accepted by TCP: %llu (checksums dropped the rest)\n",
               static_cast<unsigned long long>(corrupt_accepted));
+  if (tracer.ExportChromeTrace("trace_fault_storm.json")) {
+    std::printf("\nwrote trace_fault_storm.json (last %llu of %llu events; "
+                "load in https://ui.perfetto.dev)\n",
+                static_cast<unsigned long long>(tracer.recorder().size()),
+                static_cast<unsigned long long>(tracer.recorder().recorded()));
+  } else {
+    std::fprintf(stderr, "\nfailed to write trace_fault_storm.json\n");
+  }
+
   std::printf("\nThe transfer survived the storm: every hung or crashed server was\n"
               "detected by heartbeat silence and microrebooted; retransmission\n"
               "papered over the drops, flips, and the recovery gaps.\n");

@@ -1,0 +1,91 @@
+// Trace viewer: record the paper's fig. 2 contrast as Perfetto timelines.
+//
+//   $ ./trace_viewer
+//   $ # open https://ui.perfetto.dev and load trace_fig2_3.6ghz.json,
+//   $ # then trace_fig2_1.2ghz.json, and compare the stack-core tracks
+//
+// Runs the bulk-TCP transmit scenario twice — stack cores at 3.6 GHz, then
+// at 1.2 GHz — with the full tracing subsystem enabled, and exports each run
+// as a Chrome-trace JSON the Perfetto UI loads directly. The fast run shows
+// stack cores that are mostly idle gaps between short bursts; the slow run
+// shows the same stages stretched into near-solid lanes — the paper's "slower
+// is fine" picture, but zoomable: burst spans nest the per-message handler
+// spans, channel hops connect producer to consumer with flow arrows, and the
+// counter tracks chart utilization, ring depth, and queue length.
+//
+// Also writes a folded-stack profile per run (*.folded) and prints the
+// per-stage latency table the profile aggregates.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/newtos.h"
+
+using namespace newtos;
+
+namespace {
+
+void RunOnce(FreqKhz stack_khz, const char* tag) {
+  Testbed tb;
+  MultiserverStack* stack = tb.stack();
+  DedicatedSlowPlan(*stack, stack_khz, 3'600'000 * kKhz).Apply(tb.machine());
+
+  StackTracer::Options topt;
+  topt.ring_capacity = 1 << 19;
+  StackTracer tracer(&tb.sim(), stack, topt);
+
+  SocketApi* api = stack->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params params;
+  params.dst = tb.peer_addr();
+  IperfSender sender(api, params);
+  IperfPeerSink sink(&tb.peer());
+  sender.Start();
+
+  // Warm up untraced (connection setup and slow start are not the story),
+  // then record a 2 ms steady-state slice — small enough that the ring keeps
+  // every event and the JSON stays a quick load in the Perfetto UI.
+  tb.sim().RunFor(150 * kMillisecond);
+  sink.window().Reset(tb.sim().Now());
+  tracer.Enable();
+  tb.sim().RunFor(2 * kMillisecond);
+  tracer.Disable();
+  tb.sim().RunFor(48 * kMillisecond);
+
+  const double gbps = sink.window().GbitsPerSec(tb.sim().Now());
+  char trace_path[64];
+  char folded_path[64];
+  std::snprintf(trace_path, sizeof(trace_path), "trace_fig2_%sghz.json", tag);
+  std::snprintf(folded_path, sizeof(folded_path), "trace_fig2_%sghz.folded", tag);
+
+  std::printf("stack @ %s GHz: %5.2f Gbit/s, %llu trace events (%llu dropped)\n",
+              tag, gbps, static_cast<unsigned long long>(tracer.recorder().recorded()),
+              static_cast<unsigned long long>(tracer.recorder().dropped()));
+  if (!tracer.ExportChromeTrace(trace_path)) {
+    std::fprintf(stderr, "  failed to write %s\n", trace_path);
+  } else {
+    std::printf("  wrote %s (load in https://ui.perfetto.dev)\n", trace_path);
+  }
+  if (!tracer.ExportFolded(folded_path)) {
+    std::fprintf(stderr, "  failed to write %s\n", folded_path);
+  } else {
+    std::printf("  wrote %s (flamegraph.pl compatible)\n", folded_path);
+  }
+
+  FoldedStacks profile(tracer.recorder());
+  profile.LatencyTable().Print(std::cout,
+                               std::string("per-stage time, 2 ms slice @ ") + tag + " GHz");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Recording the fig. 2 endpoints as Perfetto timelines...\n\n");
+  RunOnce(3'600'000 * kKhz, "3.6");
+  RunOnce(1'200'000 * kKhz, "1.2");
+  std::printf(
+      "Compare the two JSONs in the Perfetto UI: at 3.6 GHz the stack-core\n"
+      "tracks are sparse bursts separated by idle; at 1.2 GHz each burst\n"
+      "stretches ~3x and the lanes close up — same goodput, fuller pipeline.\n");
+  return 0;
+}

@@ -26,6 +26,7 @@
 #include "src/sim/ring_deque.h"
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
+#include "src/trace/recorder.h"
 
 namespace newtos {
 
@@ -84,6 +85,17 @@ class SimChannel {
   void SetTap(std::function<ChanTapDecision(T&)> tap) { tap_ = std::move(tap); }
   bool has_tap() const { return static_cast<bool>(tap_); }
 
+  // Tracing: once wired, every traceable message (TraceIdsOf(msg).hop != 0)
+  // records an async begin at enqueue and the matching end at dequeue, paired
+  // by the hop id — the enqueue→dequeue edge is the message's residence in
+  // this ring. Recording is allocation-free and off until the recorder is
+  // enabled.
+  void EnableTrace(TraceRecorder* rec, TrackId track, NameId hop_name) {
+    trace_rec_ = rec;
+    trace_track_ = track;
+    trace_hop_ = hop_name;
+  }
+
   // Enqueues; returns false if the channel is full (message dropped, counted).
   // A tap-injected drop returns true: the producer's enqueue succeeded, the
   // message was lost in transit — indistinguishable from the producer's side.
@@ -117,6 +129,12 @@ class SimChannel {
     std::optional<T> out(std::move(queue_.front()));
     queue_.pop_front();
     ++stats_.pops;
+    if (TraceOn(trace_rec_)) {
+      const TraceIds ids = TraceIdsOf(*out);
+      if (ids.hop != 0) {
+        trace_rec_->AsyncEnd(sim_->Now(), trace_track_, trace_hop_, ids.hop);
+      }
+    }
     return out;
   }
 
@@ -132,6 +150,12 @@ class SimChannel {
     if (full()) {
       ++stats_.full_drops;
       return false;
+    }
+    if (TraceOn(trace_rec_)) {
+      const TraceIds ids = TraceIdsOf(msg);
+      if (ids.hop != 0) {
+        trace_rec_->AsyncBegin(sim_->Now(), trace_track_, trace_hop_, ids.hop);
+      }
     }
     const bool was_empty = queue_.empty();
     queue_.push_back(std::move(msg));
@@ -169,6 +193,10 @@ class SimChannel {
   std::function<void()> notify_;
   std::function<ChanTapDecision(T&)> tap_;
   ChannelStats stats_;
+
+  TraceRecorder* trace_rec_ = nullptr;
+  TrackId trace_track_ = 0;
+  NameId trace_hop_ = 0;
 };
 
 }  // namespace newtos

@@ -25,6 +25,9 @@ void Core::SetFrequency(FreqKhz want) {
   }
   op_ = next;
   ++dvfs_transitions_;
+  if (TraceOn(trace_.rec)) {
+    trace_.rec->Counter(sim_->Now(), trace_.track, trace_.freq, op_.freq);
+  }
   if (dvfs_latency_ > 0) {
     // The relock stall occupies the core like a work item: anything queued
     // (or arriving) waits it out.
@@ -51,6 +54,9 @@ SimTime Core::EstimateCompletion(Cycles cycles) const {
 
 SimTime Core::Execute(Cycles cycles, InlineCallback done) {
   assert(cycles >= 0);
+  if (TraceOn(trace_.rec) && !busy() && idle_activity_ == CoreActivity::kHalted) {
+    trace_.rec->Instant(sim_->Now(), trace_.track, trace_.wake);
+  }
   const SimTime completion = EstimateCompletion(cycles);
   busy_until_ = completion;
   ++outstanding_;
@@ -66,6 +72,11 @@ SimTime Core::Execute(Cycles cycles, InlineCallback done) {
 void Core::OnWorkComplete() {
   --outstanding_;
   assert(outstanding_ >= 0);
+  if (outstanding_ == 0 && TraceOn(trace_.rec)) {
+    trace_.rec->Instant(sim_->Now(), trace_.track,
+                        idle_activity_ == CoreActivity::kHalted ? trace_.idle_halt
+                                                                : trace_.idle_poll);
+  }
   UpdatePower();
   // Pop before invoking: `done` may re-enter Execute() and push again.
   InlineCallback done = std::move(completions_.front());

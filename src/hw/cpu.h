@@ -25,8 +25,21 @@
 #include "src/sim/ring_deque.h"
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
+#include "src/trace/recorder.h"
 
 namespace newtos {
+
+// Tracing hooks for one core (wired by StackTracer): instants mark the
+// poll-vs-halt decisions the energy experiments study, and a counter tracks
+// the operating point through DVFS transitions.
+struct CoreTraceHooks {
+  TraceRecorder* rec = nullptr;
+  TrackId track = 0;
+  NameId idle_poll = 0;  // instant: went idle, spinning on channels
+  NameId idle_halt = 0;  // instant: went idle, entered the sleep state
+  NameId wake = 0;       // instant: work arrived at a halted core (wake paid)
+  NameId freq = 0;       // counter: operating-point frequency in kHz
+};
 
 class Core {
  public:
@@ -114,6 +127,9 @@ class Core {
   // Zeros busy counters and the energy accumulator at `now` (post-warm-up).
   void ResetStatsAt(SimTime now);
 
+  // Wires tracing (see CoreTraceHooks). Allocation-free per event.
+  void EnableTrace(const CoreTraceHooks& hooks) { trace_ = hooks; }
+
  private:
   void UpdatePower();
   // Fires when the oldest queued work item finishes: pops its completion
@@ -149,6 +165,7 @@ class Core {
   uint64_t work_items_ = 0;
   SimTime stats_reset_at_ = 0;
   EnergyMeter meter_;
+  CoreTraceHooks trace_;
 };
 
 }  // namespace newtos

@@ -53,6 +53,9 @@ void Nic::StartNextTx() {
   const SimTime serialize = SerializationTime(frame_bytes);
   ++stats_.tx_packets;
   stats_.tx_bytes += frame_bytes;
+  if (TraceOn(trace_.rec)) {
+    trace_.rec->Instant(sim_->Now(), trace_.track, trace_.tx, p->trace_id);
+  }
 
   // The wire is occupied for the serialization time only; DMA latency delays
   // each frame but pipelines with the next one's serialization.
@@ -64,6 +67,9 @@ void Nic::StartNextTx() {
     const bool lost = loss_prob_ > 0.0 && loss_rng_.Bernoulli(loss_prob_);
     if (lost) {
       ++stats_.link_loss_drops;
+      if (TraceOn(trace_.rec)) {
+        trace_.rec->Instant(sim_->Now(), trace_.track, trace_.loss, p->trace_id);
+      }
       return;
     }
     sim_->Schedule(propagation_, [peer = peer_, p = std::move(p)]() mutable {
@@ -80,12 +86,18 @@ void Nic::DeliverFromWire(PacketPtr p) {
   sim_->Schedule(params_.dma_latency, [this, p = std::move(p)]() mutable {
     if (rx_ring_.size() >= params_.rx_ring_slots) {
       ++stats_.rx_ring_drops;
+      if (TraceOn(trace_.rec)) {
+        trace_.rec->Instant(sim_->Now(), trace_.track, trace_.rx_drop, p->trace_id);
+      }
       NEWTOS_LOG(kTrace, sim_->Now(), name_, "rx ring full, dropping " << p->ToString());
       return;
     }
     const uint32_t frame_bytes = p->FrameBytes();
     ++stats_.rx_packets;
     stats_.rx_bytes += frame_bytes;
+    if (TraceOn(trace_.rec)) {
+      trace_.rec->Instant(sim_->Now(), trace_.track, trace_.rx, p->trace_id);
+    }
     if (tap_) {
       tap_(TapDirection::kRx, p);
     }

@@ -19,8 +19,22 @@
 #include "src/sim/random.h"
 #include "src/sim/ring_deque.h"
 #include "src/sim/simulation.h"
+#include "src/trace/recorder.h"
 
 namespace newtos {
+
+// Tracing hooks for one NIC (wired by StackTracer). The tx/rx instants carry
+// the packet's flow id, so a frame leaving one machine's NIC track and
+// appearing on the peer's links the two timelines causally; drop instants
+// make ring overruns and wire loss visible exactly where they happen.
+struct NicTraceHooks {
+  TraceRecorder* rec = nullptr;
+  TrackId track = 0;
+  NameId tx = 0;       // instant: frame serialization started
+  NameId rx = 0;       // instant: frame became host-visible in the RX ring
+  NameId rx_drop = 0;  // instant: RX ring full, frame lost
+  NameId loss = 0;     // instant: frame lost on the wire (link loss model)
+};
 
 class Nic {
  public:
@@ -99,6 +113,9 @@ class Nic {
   // captures of simulated traffic.
   void SetTap(std::function<void(TapDirection, const PacketPtr&)> tap) { tap_ = std::move(tap); }
 
+  // Wires tracing (see NicTraceHooks). Allocation-free per event.
+  void EnableTrace(const NicTraceHooks& hooks) { trace_ = hooks; }
+
  private:
   void StartNextTx();
   void DeliverFromWire(PacketPtr p);
@@ -120,6 +137,7 @@ class Nic {
   std::function<bool(Packet&)> wire_fault_;
 
   Stats stats_;
+  NicTraceHooks trace_;
 };
 
 }  // namespace newtos

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
+
+#include "src/metrics/report.h"
 
 namespace newtos {
 
@@ -100,12 +102,9 @@ void Table::WriteCsv(std::ostream& out) const {
 }
 
 bool Table::WriteCsvFile(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) {
-    return false;
-  }
-  WriteCsv(f);
-  return static_cast<bool>(f);
+  std::ostringstream buf;
+  WriteCsv(buf);
+  return WriteFileChecked(path, buf.str());
 }
 
 }  // namespace newtos

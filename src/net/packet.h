@@ -133,6 +133,12 @@ struct Packet {
 
   // --- Simulation metadata (not on the wire) ---
   uint64_t id = 0;             // unique per packet, for traces
+  // Causal trace id: shared by every packet of one logical flow so the
+  // tracing subsystem can follow a TCP connection — including retransmits,
+  // which are new packets (fresh `id`) of the same flow — across every
+  // server, channel, and wire hop. MakePacket() defaults it to the packet's
+  // own id; TcpConnection overrides it with the connection's flow id.
+  uint64_t trace_id = 0;
   SimTime created_at = 0;      // when the sending application emitted it
   uint64_t app_tag = 0;        // opaque application marker (request ids etc.)
   uint8_t corrupt = 0;         // kCorrupt* bits set by fault injection

@@ -82,6 +82,7 @@ void PacketPool::FreeBlock(void* p, size_t bytes) {
 PacketPtr PacketPool::Make() {
   PacketPtr p = std::allocate_shared<Packet>(Recycler<Packet>(this));
   p->id = g_next_packet_id.fetch_add(1, std::memory_order_relaxed);
+  p->trace_id = p->id;  // default flow = the packet itself; TCP overrides
   return p;
 }
 

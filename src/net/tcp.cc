@@ -107,6 +107,13 @@ uint32_t TcpConnection::AdvertisedWindow() const {
 
 PacketPtr TcpConnection::MakeSegment(uint8_t flags, uint32_t seq, uint32_t payload) {
   PacketPtr p = MakePacket();
+  // Every segment of this connection — retransmits included — shares one
+  // trace flow id (the first segment's packet id), so tracing can follow the
+  // connection end to end even when individual packets are re-made.
+  if (trace_flow_ == 0) {
+    trace_flow_ = p->id;
+  }
+  p->trace_id = trace_flow_;
   p->ip.proto = IpProto::kTcp;
   p->ip.src = key_.src_ip;
   p->ip.dst = key_.dst_ip;

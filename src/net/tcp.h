@@ -187,6 +187,10 @@ class TcpConnection {
 
   TcpState state_ = TcpState::kClosed;
 
+  // Causal trace flow id for this connection: lazily set to the first
+  // segment's packet id and stamped into every later segment's trace_id.
+  uint64_t trace_flow_ = 0;
+
   // Send side.
   uint32_t iss_ = 0;
   uint32_t snd_una_ = 0;  // oldest unacked seq

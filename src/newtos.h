@@ -15,6 +15,8 @@
 //              watchdog, invariant checkers, the resilience campaign
 //   workload — iperf / HTTP / UDP-flood load generators
 //   metrics  — stats, histograms, table/CSV writers
+//   trace    — allocation-free causal tracing (recorder, samplers,
+//              Chrome-trace + folded-stack exporters, StackTracer wiring)
 //   host     — real-thread affinity pipeline over SpscRing
 
 #ifndef SRC_NEWTOS_H_
@@ -64,6 +66,12 @@
 #include "src/sim/random.h"
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/folded_stack.h"
+#include "src/trace/recorder.h"
+#include "src/trace/sampler.h"
+#include "src/trace/stack_trace.h"
+#include "src/trace/trace_event.h"
 #include "src/workload/httpd.h"
 #include "src/workload/iperf.h"
 #include "src/workload/ping.h"

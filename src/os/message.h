@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "src/net/packet.h"
+#include "src/trace/trace_event.h"
 
 namespace newtos {
 
@@ -38,6 +39,9 @@ enum class MsgType : uint8_t {
   kCtlHeartbeat,  // watchdog liveness probe; value carries the sequence number
 };
 
+// Number of MsgType values; sizes per-type lookup tables (trace name ids).
+inline constexpr size_t kNumMsgTypes = static_cast<size_t>(MsgType::kCtlHeartbeat) + 1;
+
 struct Msg {
   MsgType type = MsgType::kPacketRx;
   PacketPtr packet;     // valid for kPacketRx/kPacketTx
@@ -49,6 +53,16 @@ struct Msg {
 };
 
 const char* MsgTypeName(MsgType t);
+
+// Causal ids for tracing (found by SimChannel<Msg> via ADL): a message
+// carrying a packet is traceable by the packet's unique id (hop pairing) and
+// its flow id; control/socket messages are not followed across hops.
+inline TraceIds TraceIdsOf(const Msg& m) {
+  if (m.packet) {
+    return TraceIds{m.packet->id, m.packet->trace_id};
+  }
+  return {};
+}
 
 }  // namespace newtos
 

@@ -2,16 +2,48 @@
 
 namespace newtos {
 
+void MicrorebootManager::EnableTrace(TraceRecorder* rec, TrackId track) {
+  trace_rec_ = rec;
+  trace_track_ = track;
+  trace_detected_ = rec != nullptr ? rec->InternName("detected") : 0;
+}
+
+void MicrorebootManager::TraceBegin(size_t index, const std::string& server, SimTime since) {
+  incident_names_.resize(incidents_.size(), 0);
+  if (!TraceOn(trace_rec_)) {
+    return;
+  }
+  // Interning dedupes, so only a server's first incident allocates.
+  incident_names_[index] = trace_rec_->InternName(server);
+  trace_rec_->AsyncBegin(since, trace_track_, incident_names_[index], index + 1);
+}
+
+void MicrorebootManager::TraceDetected(size_t index) {
+  if (TraceOn(trace_rec_) && incident_names_[index] != 0) {
+    trace_rec_->Instant(sim_->Now(), trace_track_, trace_detected_, index + 1);
+  }
+}
+
+void MicrorebootManager::TraceRecovered(size_t index) {
+  if (TraceOn(trace_rec_) && incident_names_[index] != 0) {
+    trace_rec_->AsyncEnd(sim_->Now(), trace_track_, incident_names_[index], index + 1);
+  }
+}
+
 size_t MicrorebootManager::InjectCrash(Server* server, SimTime at, Cycles restart_cycles) {
   const size_t index = incidents_.size();
   incidents_.push_back(Incident{server->name(), 0, 0, 0});
   sim_->ScheduleAt(at, [this, server, restart_cycles, index] {
     incidents_[index].crashed_at = sim_->Now();
+    TraceBegin(index, server->name(), sim_->Now());
     server->Crash();
     sim_->Schedule(detection_latency_, [this, server, restart_cycles, index] {
       incidents_[index].detected_at = sim_->Now();
-      server->Restart(restart_cycles,
-                      [this, index] { incidents_[index].recovered_at = sim_->Now(); });
+      TraceDetected(index);
+      server->Restart(restart_cycles, [this, index] {
+        incidents_[index].recovered_at = sim_->Now();
+        TraceRecovered(index);
+      });
     });
   });
   return index;
@@ -21,11 +53,17 @@ size_t MicrorebootManager::RecoverDetected(Server* server, SimTime suspected_sin
                                            Cycles restart_cycles) {
   const size_t index = incidents_.size();
   incidents_.push_back(Incident{server->name(), suspected_since, sim_->Now(), 0});
+  // The outage began at the last sign of life, not at detection — the trace
+  // span shows the full window the watchdog's deadline bounds.
+  TraceBegin(index, server->name(), suspected_since);
+  TraceDetected(index);
   if (!server->crashed()) {
     server->Crash();  // the cure for a hang: kill it so the reboot is clean
   }
-  server->Restart(restart_cycles,
-                  [this, index] { incidents_[index].recovered_at = sim_->Now(); });
+  server->Restart(restart_cycles, [this, index] {
+    incidents_[index].recovered_at = sim_->Now();
+    TraceRecovered(index);
+  });
   return index;
 }
 

@@ -15,6 +15,7 @@
 
 #include "src/os/server.h"
 #include "src/sim/simulation.h"
+#include "src/trace/recorder.h"
 
 namespace newtos {
 
@@ -50,10 +51,28 @@ class MicrorebootManager {
   // True once every injected incident has completed recovery.
   bool AllRecovered() const;
 
+  // Wires tracing: each incident becomes an async span on `track` named
+  // after the crashed server, covering crash (or last sign of life) through
+  // recovery, with a "detected" instant in between — the outage window sits
+  // in the same timeline as the traffic it disrupts. Incident recording may
+  // intern the server's name (first incident per server only); incidents are
+  // control-plane-rare, so this never touches the steady-state fast path.
+  void EnableTrace(TraceRecorder* rec, TrackId track);
+
  private:
+  // Incident trace bookkeeping (no-ops while tracing is off/unwired).
+  void TraceBegin(size_t index, const std::string& server, SimTime since);
+  void TraceDetected(size_t index);
+  void TraceRecovered(size_t index);
+
   Simulation* sim_;
   SimTime detection_latency_ = 200 * kMicrosecond;
   std::vector<Incident> incidents_;
+
+  TraceRecorder* trace_rec_ = nullptr;
+  TrackId trace_track_ = 0;
+  NameId trace_detected_ = 0;
+  std::vector<NameId> incident_names_;  // parallel to incidents_; 0 = untraced
 };
 
 }  // namespace newtos

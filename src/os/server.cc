@@ -125,6 +125,7 @@ void Server::MaybeSchedule() {
   // costs add up per message, but tenant-switch pollution is paid once per
   // burst — exactly how batched poll loops amortize co-location.
   assert(batch_.empty());
+  const bool tracing = TraceOn(trace_.rec);
   Cycles cost = 0;
   for (int n = 0; n < source_batch_limit_ && src->has_work(); ++n) {
     Msg msg = src->take();
@@ -132,12 +133,19 @@ void Server::MaybeSchedule() {
     // cost. (The watchdog itself has no heartbeat_out_ — the acks it receives
     // are ordinary messages to it.)
     const bool probe = msg.type == MsgType::kCtlHeartbeat && heartbeat_out_ != nullptr;
-    cost += src->overhead_cycles + (probe ? kHeartbeatAckCycles : CostFor(msg));
+    const Cycles msg_cost = src->overhead_cycles + (probe ? kHeartbeatAckCycles : CostFor(msg));
+    cost += msg_cost;
+    if (tracing) {
+      batch_durs_.push_back(TraceCyclesToTime(msg_cost));
+    }
     batch_.push_back(std::move(msg));
   }
   if (core_->SetTenant(this)) {
     cost += tenant_switch_cycles_;
     core_->CountTenantSwitch();
+  }
+  if (tracing) {
+    batch_total_dur_ = TraceCyclesToTime(cost);
   }
   const uint64_t gen = generation_;
   core_->Execute(cost, [this, gen]() {
@@ -147,6 +155,12 @@ void Server::MaybeSchedule() {
     // Swap into the scratch buffer before handling: a crash inside Handle()
     // clears batch_ but must not disturb the burst being iterated.
     executing_.swap(batch_);
+    executing_durs_.swap(batch_durs_);
+    if (TraceOn(trace_.rec) && trace_.msg_names != nullptr &&
+        executing_durs_.size() == executing_.size() && !executing_.empty()) {
+      RecordBurstSpans();
+    }
+    executing_durs_.clear();
     for (const Msg& msg : executing_) {
       ++messages_processed_;
       if (msg.type == MsgType::kCtlHeartbeat && heartbeat_out_ != nullptr) {
@@ -159,6 +173,29 @@ void Server::MaybeSchedule() {
     processing_ = false;
     MaybeSchedule();
   });
+}
+
+void Server::RecordBurstSpans() {
+  // Reconstruct the burst interval from the durations captured at submit:
+  // the work item finished *now*, so it started one burst-duration ago. The
+  // per-message spans occupy the tail of the interval; the lead-in (tenant
+  // switch and rounding slack) is the burst span's own time. All spans are
+  // complete events (duration known here), parent first then children in
+  // begin order — half the records of begin/end pairs.
+  const SimTime end = sim_->Now();
+  SimTime msgs_total = 0;
+  for (const SimTime d : executing_durs_) {
+    msgs_total += d;
+  }
+  const SimTime begin = end - (batch_total_dur_ > msgs_total ? batch_total_dur_ : msgs_total);
+  trace_.rec->Complete(begin, trace_.track, trace_.burst, end - begin);
+  SimTime cursor = end - msgs_total;
+  for (size_t i = 0; i < executing_.size(); ++i) {
+    const NameId name = trace_.msg_names[static_cast<size_t>(executing_[i].type)];
+    const uint64_t flow = TraceIdsOf(executing_[i]).flow;
+    trace_.rec->Complete(cursor, trace_.track, name, executing_durs_[i], flow);
+    cursor += executing_durs_[i];
+  }
 }
 
 void Server::EnableHeartbeat(Chan* ack_out, uint64_t id) {
@@ -221,6 +258,10 @@ void Server::Crash() {
   // counted as processed, and (matching the old capture-by-value behaviour)
   // it is not counted as lost_to_crash either — only queued input is.
   batch_.clear();
+  batch_durs_.clear();
+  if (TraceOn(trace_.rec)) {
+    trace_.rec->Instant(sim_->Now(), trace_.track, trace_.crash);
+  }
   for (auto& ch : owned_inputs_) {
     while (auto m = ch->Pop()) {
       ++messages_lost_to_crash_;
@@ -242,6 +283,9 @@ void Server::Restart(Cycles restart_cycles, std::function<void()> on_ready) {
     }
     crashed_ = false;
     OnRestart();
+    if (TraceOn(trace_.rec)) {
+      trace_.rec->Instant(sim_->Now(), trace_.track, trace_.restart);
+    }
     NEWTOS_LOG(kInfo, sim_->Now(), name_, "restarted (gen " << generation_ << ")");
     if (on_ready) {
       on_ready();

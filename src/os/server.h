@@ -31,8 +31,22 @@
 #include "src/hw/cpu.h"
 #include "src/os/message.h"
 #include "src/sim/simulation.h"
+#include "src/trace/recorder.h"
 
 namespace newtos {
+
+// Tracing hooks for one server (wired by StackTracer, src/trace/stack_trace.h).
+// All ids are interned at setup; the per-burst recording path is
+// allocation-free. `msg_names` must point at kNumMsgTypes entries indexed by
+// MsgType and outlive the server.
+struct ServerTraceHooks {
+  TraceRecorder* rec = nullptr;
+  TrackId track = 0;
+  NameId burst = 0;    // outer span: one poll-loop burst on the core
+  NameId crash = 0;    // instant: the server died
+  NameId restart = 0;  // instant: recovery completed, processing resumes
+  const NameId* msg_names = nullptr;
+};
 
 class Server {
  public:
@@ -128,6 +142,13 @@ class Server {
   // Invoked on busy->idle and idle->busy transitions (for poll policies).
   void SetIdleObserver(std::function<void(bool idle)> fn) { idle_observer_ = std::move(fn); }
 
+  // Wires tracing: bursts become spans on `hooks.track` with nested
+  // per-message spans (named by MsgType, subdivided by each message's cycle
+  // cost, carrying the packet's flow id), and crash/restart become instants
+  // on the same track — so a microreboot is visible in the same timeline as
+  // the traffic it interrupts.
+  void EnableTrace(const ServerTraceHooks& hooks) { trace_ = hooks; }
+
  protected:
   // Cycle cost of fully processing `msg` (dequeue + work + output enqueues).
   virtual Cycles CostFor(const Msg& msg) = 0;
@@ -149,6 +170,22 @@ class Server {
   WorkSource* PickSource();
   void LivelockSpin(uint64_t gen);
   void AckHeartbeat(const Msg& probe);
+  // Records the just-finished burst's spans (timestamps reconstructed from
+  // the per-message durations captured at submit). Called before Handle()s
+  // run so downstream channel events sort after the spans that caused them.
+  void RecordBurstSpans();
+  // Cycles -> picoseconds for trace span durations only: a cached fixed-point
+  // multiply instead of CyclesToTime's two 64-bit divisions per message. At
+  // most half a cycle of rounding error — invisible at display granularity,
+  // and never fed back into the model.
+  SimTime TraceCyclesToTime(Cycles c) {
+    const FreqKhz f = core_->frequency();
+    if (f != trace_freq_) {
+      trace_freq_ = f;
+      trace_ps_per_cycle_fp_ = ((int64_t{1'000'000'000} << 16) + f / 2) / f;
+    }
+    return (c * trace_ps_per_cycle_fp_) >> 16;
+  }
 
   // Cycle cost of answering one heartbeat probe (bypasses CostFor: the ack
   // is base-class behaviour, cheaper than any protocol message).
@@ -171,6 +208,16 @@ class Server {
   // out of the completion capture keeps that capture at two words.
   std::vector<Msg> batch_;
   std::vector<Msg> executing_;
+  // Tracing mirrors of the burst buffers: per-message durations at the
+  // submission-time operating point, swapped in lockstep with batch_/
+  // executing_. Empty (and never touched) while tracing is off, so the
+  // fast path stays allocation-free after the first traced burst.
+  std::vector<SimTime> batch_durs_;
+  std::vector<SimTime> executing_durs_;
+  SimTime batch_total_dur_ = 0;
+  FreqKhz trace_freq_ = 0;              // cache key for trace_ps_per_cycle_fp_
+  int64_t trace_ps_per_cycle_fp_ = 0;   // ps per cycle, 16-bit fixed point
+  ServerTraceHooks trace_;
   bool processing_ = false;
   bool crashed_ = false;
   bool hung_ = false;

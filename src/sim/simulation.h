@@ -65,6 +65,10 @@ class Simulation {
   // Total events processed over the simulation's lifetime.
   uint64_t events_processed() const { return events_processed_; }
 
+  // Live (uncancelled) events currently queued. For diagnostics and the
+  // tracing subsystem's event-queue-depth sampler.
+  size_t PendingEvents() const { return queue_.LiveSize(); }
+
  private:
   // Pops and runs one event; advances the clock. Precondition: queue not empty.
   void Step();

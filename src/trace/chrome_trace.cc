@@ -1,0 +1,130 @@
+#include "src/trace/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace newtos {
+namespace {
+
+// Escapes a name for a JSON string literal. Names here are channel/server
+// identifiers, so this only has to be correct, not fast.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Renders picoseconds as an exact microsecond decimal ("12.345678"): the
+// trace format's ts unit is microseconds, and integer math keeps the output
+// bit-identical across platforms.
+void PrintMicros(std::ostream& out, SimTime ps) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64, ps / 1'000'000,
+                ps % 1'000'000);
+  out << buf;
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const TraceRecorder& rec, std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+  // Track metadata: names and display order.
+  bool first = true;
+  const auto& tracks = rec.tracks();
+  for (size_t t = 0; t < tracks.size(); ++t) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << JsonEscape(tracks[t].name)
+        << "\"}},\n";
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+        << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" << tracks[t].sort_rank
+        << "}}";
+  }
+
+  rec.ForEach([&](const TraceEvent& e) {
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    const std::string name = JsonEscape(rec.NameOf(e.name));
+    out << "{\"pid\":1,\"tid\":" << e.track << ",\"ts\":";
+    PrintMicros(out, e.ts);
+    switch (e.type) {
+      case TraceEventType::kSpanBegin:
+        out << ",\"ph\":\"B\",\"name\":\"" << name << "\"";
+        if (e.flow != 0) {
+          out << ",\"args\":{\"flow\":" << e.flow << "}";
+        }
+        break;
+      case TraceEventType::kSpanEnd:
+        out << ",\"ph\":\"E\"";
+        break;
+      case TraceEventType::kComplete:
+        out << ",\"ph\":\"X\",\"name\":\"" << name << "\",\"dur\":";
+        PrintMicros(out, e.value);
+        if (e.flow != 0) {
+          out << ",\"args\":{\"flow\":" << e.flow << "}";
+        }
+        break;
+      case TraceEventType::kAsyncBegin:
+        out << ",\"ph\":\"b\",\"cat\":\"hop\",\"id\":" << e.flow << ",\"name\":\"" << name
+            << "\"";
+        break;
+      case TraceEventType::kAsyncEnd:
+        out << ",\"ph\":\"e\",\"cat\":\"hop\",\"id\":" << e.flow << ",\"name\":\"" << name
+            << "\"";
+        break;
+      case TraceEventType::kInstant:
+        out << ",\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << name << "\"";
+        if (e.flow != 0) {
+          out << ",\"args\":{\"flow\":" << e.flow << "}";
+        }
+        break;
+      case TraceEventType::kCounter:
+        out << ",\"ph\":\"C\",\"name\":\"" << name << "\",\"args\":{\"value\":" << e.value
+            << "}";
+        break;
+    }
+    out << "}";
+  });
+
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+bool WriteChromeTraceFile(const TraceRecorder& rec, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    return false;
+  }
+  if (!WriteChromeTrace(rec, f)) {
+    return false;
+  }
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+}  // namespace newtos

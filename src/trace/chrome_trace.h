@@ -1,0 +1,35 @@
+// Chrome trace-event JSON exporter.
+//
+// Serializes a TraceRecorder into the JSON array format understood by
+// chrome://tracing and by Perfetto's legacy importer (ui.perfetto.dev →
+// "Open trace file"). Tracks become threads of one process, with
+// thread_name/thread_sort_index metadata so the timeline reads NIC → driver
+// → ip → pf → tcp → syscall → app top to bottom; span begin/end map to
+// "B"/"E" slices, async pairs to "b"/"e" (overlapping channel hops), instants
+// to "i" and counters to "C".
+//
+// Output is a pure function of the recorder's contents: timestamps are
+// simulated picoseconds rendered as exact microsecond decimals, and events
+// are emitted in recording order. Two identical runs export byte-identical
+// files — pinned by tests/trace_test.cc.
+
+#ifndef SRC_TRACE_CHROME_TRACE_H_
+#define SRC_TRACE_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+
+#include "src/trace/recorder.h"
+
+namespace newtos {
+
+// Writes the JSON document to `out`. Returns false if the stream failed.
+bool WriteChromeTrace(const TraceRecorder& rec, std::ostream& out);
+
+// Writes to `path` with an error-checked flush. Returns false on any I/O
+// failure (open, write, or flush).
+bool WriteChromeTraceFile(const TraceRecorder& rec, const std::string& path);
+
+}  // namespace newtos
+
+#endif  // SRC_TRACE_CHROME_TRACE_H_

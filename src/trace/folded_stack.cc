@@ -1,0 +1,165 @@
+#include "src/trace/folded_stack.h"
+
+#include <fstream>
+#include <unordered_map>
+#include <vector>
+
+namespace newtos {
+namespace {
+
+struct Frame {
+  NameId name = 0;
+  SimTime begin = 0;
+  SimTime end = 0;         // 0 = open (kSpanBegin); else a kComplete's known end
+  SimTime child_time = 0;  // inclusive time of completed children
+};
+
+}  // namespace
+
+FoldedStacks::FoldedStacks(const TraceRecorder& rec) {
+  // Per-track open-span stacks, and open async hops keyed by (track, name,
+  // pair id). Scratch space only — this runs at export time.
+  std::unordered_map<TrackId, std::vector<Frame>> open_spans;
+  struct AsyncKey {
+    uint64_t id;
+    uint32_t track_name;
+    bool operator==(const AsyncKey&) const = default;
+  };
+  struct AsyncKeyHash {
+    size_t operator()(const AsyncKey& k) const {
+      return static_cast<size_t>((k.id * 0x9e3779b97f4a7c15ULL) ^ k.track_name);
+    }
+  };
+  std::unordered_map<AsyncKey, SimTime, AsyncKeyHash> open_async;
+
+  auto stack_key = [&rec](TrackId track, const std::vector<Frame>& frames) {
+    std::string key = rec.TrackOf(track).name;
+    for (const Frame& f : frames) {
+      key += ';';
+      key += rec.NameOf(f.name);
+    }
+    return key;
+  };
+
+  // Pops the top frame, folds its self time, credits the parent. A frame is
+  // finalized either by its kSpanEnd (which fills `end`) or, for kComplete
+  // frames, once a later event proves the simulation has moved past it.
+  auto finalize_top = [&](TrackId track, std::vector<Frame>& frames) {
+    const Frame f = frames.back();
+    const SimTime inclusive = f.end - f.begin;
+    Fold(stack_key(track, frames), inclusive - f.child_time);
+    frames.pop_back();
+    if (!frames.empty()) {
+      frames.back().child_time += inclusive;
+    }
+  };
+  // Retires kComplete frames that ended at or before `ts` — they can no
+  // longer receive children, so their self time is settled.
+  auto retire = [&](TrackId track, std::vector<Frame>& frames, SimTime ts) {
+    while (!frames.empty() && frames.back().end != 0 && frames.back().end <= ts) {
+      finalize_top(track, frames);
+    }
+  };
+
+  rec.ForEach([&](const TraceEvent& e) {
+    switch (e.type) {
+      case TraceEventType::kSpanBegin:
+        retire(e.track, open_spans[e.track], e.ts);
+        open_spans[e.track].push_back(Frame{e.name, e.ts, 0, 0});
+        break;
+      case TraceEventType::kComplete:
+        retire(e.track, open_spans[e.track], e.ts);
+        open_spans[e.track].push_back(Frame{e.name, e.ts, e.ts + e.value, 0});
+        break;
+      case TraceEventType::kSpanEnd: {
+        auto& frames = open_spans[e.track];
+        retire(e.track, frames, e.ts);
+        if (frames.empty()) {
+          ++unmatched_;  // begin fell off the ring window
+          break;
+        }
+        frames.back().end = e.ts;
+        finalize_top(e.track, frames);
+        break;
+      }
+      case TraceEventType::kAsyncBegin:
+        open_async[AsyncKey{e.flow, static_cast<uint32_t>(e.track) << 16 | e.name}] = e.ts;
+        break;
+      case TraceEventType::kAsyncEnd: {
+        const AsyncKey key{e.flow, static_cast<uint32_t>(e.track) << 16 | e.name};
+        const auto it = open_async.find(key);
+        if (it == open_async.end()) {
+          ++unmatched_;
+          break;
+        }
+        Fold(rec.TrackOf(e.track).name + ';' + rec.NameOf(e.name), e.ts - it->second);
+        open_async.erase(it);
+        break;
+      }
+      case TraceEventType::kInstant:
+      case TraceEventType::kCounter:
+        break;  // point events carry no duration
+    }
+  });
+
+  for (auto& [track, frames] : open_spans) {
+    while (!frames.empty()) {
+      if (frames.back().end != 0) {
+        finalize_top(track, frames);  // kComplete: duration was known all along
+      } else {
+        ++unmatched_;  // open span whose end fell outside the ring window
+        frames.pop_back();
+      }
+    }
+  }
+  unmatched_ += open_async.size();
+}
+
+void FoldedStacks::Fold(const std::string& key, SimTime duration) {
+  if (duration < 0) {
+    duration = 0;
+  }
+  StageStat& s = stats_[key];
+  if (s.count == 0 || duration < s.min) {
+    s.min = duration;
+  }
+  if (duration > s.max) {
+    s.max = duration;
+  }
+  ++s.count;
+  s.total += duration;
+}
+
+void FoldedStacks::WriteFolded(std::ostream& out) const {
+  for (const auto& [key, s] : stats_) {
+    const SimTime ns = s.total / kNanosecond;
+    if (ns <= 0) {
+      continue;
+    }
+    out << key << ' ' << ns << '\n';
+  }
+}
+
+bool FoldedStacks::WriteFoldedFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    return false;
+  }
+  WriteFolded(f);
+  f.flush();
+  return static_cast<bool>(f);
+}
+
+Table FoldedStacks::LatencyTable() const {
+  Table t({"stage", "count", "total_ms", "mean_us", "min_us", "max_us"});
+  for (const auto& [key, s] : stats_) {
+    const double total_us = static_cast<double>(s.total) / kMicrosecond;
+    t.AddRow({key, Table::Int(static_cast<int64_t>(s.count)), Table::Num(total_us / 1e3, 3),
+              Table::Num(s.count > 0 ? total_us / static_cast<double>(s.count) : 0.0, 3),
+              Table::Num(static_cast<double>(s.min) / kMicrosecond, 3),
+              Table::Num(static_cast<double>(s.max) / kMicrosecond, 3)});
+  }
+  return t;
+}
+
+}  // namespace newtos

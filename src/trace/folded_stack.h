@@ -1,0 +1,61 @@
+// Folded-stack aggregation: flamegraph text + per-stage latency table.
+//
+// Collapses a recorded trace into `track;outer;inner <nanoseconds>` lines —
+// the folded format flamegraph.pl and speedscope consume — plus a Table of
+// per-stage service-time statistics (count, total, mean, min, max). Span
+// begin/end pairs fold into stacks with proper self-time attribution (an
+// outer burst span's self time excludes its per-message children); async
+// pairs (channel hops) aggregate by name with the hop latency as the value,
+// which is exactly the enqueue→dequeue edge the paper's occupancy argument
+// needs.
+//
+// Aggregation keys are sorted, so output is deterministic for a given
+// recording.
+
+#ifndef SRC_TRACE_FOLDED_STACK_H_
+#define SRC_TRACE_FOLDED_STACK_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "src/metrics/table.h"
+#include "src/trace/recorder.h"
+
+namespace newtos {
+
+struct StageStat {
+  uint64_t count = 0;
+  SimTime total = 0;  // self time for spans, hop latency for async pairs
+  SimTime min = 0;
+  SimTime max = 0;
+};
+
+class FoldedStacks {
+ public:
+  // Aggregates the recorder's current contents. Spans left open (their end
+  // fell outside the ring window) and unmatched ends are dropped.
+  explicit FoldedStacks(const TraceRecorder& rec);
+
+  // Keyed by "track;name[;name...]" for spans, "track;name" for async hops.
+  const std::map<std::string, StageStat>& stats() const { return stats_; }
+
+  // "stack <total_ns>" lines, one per key, skipping zero-duration stacks.
+  void WriteFolded(std::ostream& out) const;
+  bool WriteFoldedFile(const std::string& path) const;
+
+  // Per-stage latency table: stage, count, total_ms, mean_us, min_us, max_us.
+  Table LatencyTable() const;
+
+  uint64_t unmatched() const { return unmatched_; }
+
+ private:
+  void Fold(const std::string& key, SimTime duration);
+
+  std::map<std::string, StageStat> stats_;
+  uint64_t unmatched_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_TRACE_FOLDED_STACK_H_

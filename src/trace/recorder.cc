@@ -1,0 +1,41 @@
+#include "src/trace/recorder.h"
+
+namespace newtos {
+
+namespace {
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : ring_(RoundUpPow2(capacity > 0 ? capacity : 1)) {
+  mask_ = ring_.size() - 1;
+  // Id 0 is reserved in both tables so "unset" never aliases a real entry.
+  names_.emplace_back();
+  tracks_.push_back(Track{"trace", 0});
+}
+
+NameId TraceRecorder::InternName(std::string_view name) {
+  std::string key(name);
+  const auto it = name_ids_.find(key);
+  if (it != name_ids_.end()) {
+    return it->second;
+  }
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.push_back(key);
+  name_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+TrackId TraceRecorder::RegisterTrack(std::string_view name, int sort_rank) {
+  const TrackId id = static_cast<TrackId>(tracks_.size());
+  tracks_.push_back(Track{std::string(name), sort_rank});
+  return id;
+}
+
+}  // namespace newtos

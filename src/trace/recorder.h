@@ -1,0 +1,142 @@
+// TraceRecorder: a preallocated ring buffer of TraceEvents.
+//
+// The recorder is built once per experiment with a fixed capacity; recording
+// an event writes one 32-byte POD into the ring and never allocates. When
+// the ring is full the oldest events are overwritten (and counted as
+// dropped), so a long run keeps the most recent window — which is the part
+// a trace viewer wants anyway. A disabled recorder's record path is a single
+// predictable branch, cheap enough to leave compiled into every hot loop.
+//
+// Names and tracks are interned up front: components call InternName /
+// RegisterTrack while the experiment is being wired (these may allocate) and
+// keep the small integer ids for the hot path. The wiring helper that does
+// this for a whole testbed is src/trace/stack_trace.h.
+//
+// Threading: single-threaded, like the simulator it observes.
+
+#ifndef SRC_TRACE_RECORDER_H_
+#define SRC_TRACE_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/trace_event.h"
+
+namespace newtos {
+
+class TraceRecorder {
+ public:
+  struct Track {
+    std::string name;
+    int sort_rank = 0;  // display order in the exported timeline
+  };
+
+  // Preallocates the ring. Capacity is rounded up to a power of two (>= 1)
+  // so the hot path wraps with a mask instead of a compare. The recorder
+  // starts *disabled*: wiring can happen eagerly and recording costs one
+  // branch until set_enabled(true).
+  explicit TraceRecorder(size_t capacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // --- Setup (may allocate; call while wiring, not per event) ---
+
+  // Returns a stable id for `name`, interning it on first use.
+  NameId InternName(std::string_view name);
+
+  // Registers a timeline track (a "thread" row in the viewer).
+  TrackId RegisterTrack(std::string_view name, int sort_rank = 0);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // --- Recording (hot path: allocation-free, no-op while disabled) ---
+
+  void Record(SimTime ts, TraceEventType type, TrackId track, NameId name,
+              uint64_t flow, int64_t value) {
+    if (!enabled_) {
+      return;
+    }
+    // recorded_ doubles as the write cursor (capacity is a power of two):
+    // one counter update per event instead of a counter and a wrap check.
+    TraceEvent& e = ring_[recorded_ & mask_];
+    e.ts = ts;
+    e.flow = flow;
+    e.value = value;
+    e.name = name;
+    e.track = track;
+    e.type = type;
+    ++recorded_;
+  }
+
+  void SpanBegin(SimTime ts, TrackId t, NameId n, uint64_t flow = 0) {
+    Record(ts, TraceEventType::kSpanBegin, t, n, flow, 0);
+  }
+  void SpanEnd(SimTime ts, TrackId t, NameId n, uint64_t flow = 0) {
+    Record(ts, TraceEventType::kSpanEnd, t, n, flow, 0);
+  }
+  void Complete(SimTime ts, TrackId t, NameId n, SimTime dur, uint64_t flow = 0) {
+    Record(ts, TraceEventType::kComplete, t, n, flow, dur);
+  }
+  void AsyncBegin(SimTime ts, TrackId t, NameId n, uint64_t pair_id) {
+    Record(ts, TraceEventType::kAsyncBegin, t, n, pair_id, 0);
+  }
+  void AsyncEnd(SimTime ts, TrackId t, NameId n, uint64_t pair_id) {
+    Record(ts, TraceEventType::kAsyncEnd, t, n, pair_id, 0);
+  }
+  void Instant(SimTime ts, TrackId t, NameId n, uint64_t flow = 0) {
+    Record(ts, TraceEventType::kInstant, t, n, flow, 0);
+  }
+  void Counter(SimTime ts, TrackId t, NameId n, int64_t value) {
+    Record(ts, TraceEventType::kCounter, t, n, 0, value);
+  }
+
+  // --- Introspection / export ---
+
+  size_t capacity() const { return ring_.size(); }
+  // Events currently held (<= capacity).
+  size_t size() const { return recorded_ < ring_.size() ? static_cast<size_t>(recorded_) : ring_.size(); }
+  // Total events ever recorded, including overwritten ones.
+  uint64_t recorded() const { return recorded_; }
+  // Events lost to ring wraparound.
+  uint64_t dropped() const { return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0; }
+
+  // Forgets every recorded event (interned names/tracks stay).
+  void Clear() { recorded_ = 0; }
+
+  // Visits held events oldest-first, in recording order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const size_t n = size();
+    size_t i = recorded_ > ring_.size() ? recorded_ & mask_ : 0;
+    for (size_t k = 0; k < n; ++k) {
+      fn(ring_[i]);
+      i = (i + 1) & mask_;
+    }
+  }
+
+  const std::string& NameOf(NameId id) const { return names_[id]; }
+  const Track& TrackOf(TrackId id) const { return tracks_[id]; }
+  const std::vector<Track>& tracks() const { return tracks_; }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> ring_;
+  size_t mask_ = 0;  // ring_.size() - 1; size is always a power of two
+  uint64_t recorded_ = 0;
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NameId> name_ids_;
+  std::vector<Track> tracks_;
+};
+
+// Convenience guard for instrumented components: non-null and enabled.
+inline bool TraceOn(const TraceRecorder* rec) { return rec != nullptr && rec->enabled(); }
+
+}  // namespace newtos
+
+#endif  // SRC_TRACE_RECORDER_H_

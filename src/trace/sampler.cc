@@ -1,0 +1,39 @@
+#include "src/trace/sampler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace newtos {
+
+void TraceSamplers::Add(TrackId track, NameId name, std::function<int64_t()> probe) {
+  assert(probe);
+  probes_.push_back(Probe{track, name, std::move(probe)});
+}
+
+void TraceSamplers::Start(SimTime interval) {
+  assert(interval > 0);
+  interval_ = interval;
+  if (running_) {
+    return;  // next tick picks up the new interval
+  }
+  running_ = true;
+  next_ = sim_->Schedule(interval_, [this] { Tick(); });
+}
+
+void TraceSamplers::Stop() {
+  running_ = false;
+  next_.Cancel();
+}
+
+void TraceSamplers::Tick() {
+  if (!running_) {
+    return;
+  }
+  const SimTime now = sim_->Now();
+  for (const Probe& p : probes_) {
+    rec_->Counter(now, p.track, p.name, p.fn());
+  }
+  next_ = sim_->Schedule(interval_, [this] { Tick(); });
+}
+
+}  // namespace newtos

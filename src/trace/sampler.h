@@ -1,0 +1,67 @@
+// TraceSamplers: periodic counter sampling into a TraceRecorder.
+//
+// Spans capture *where* cycles go; counters capture *how full* things are.
+// A TraceSamplers owns a set of probes (core utilization, channel ring
+// occupancy, event-queue depth — registered by the wiring layer) and, while
+// started, ticks on a fixed simulated interval emitting one kCounter event
+// per probe. Probes are std::functions registered at setup time; the tick
+// itself allocates nothing (the reschedule flows through the pooled event
+// queue and the probe calls are plain invocations).
+//
+// Determinism note: a started sampler adds events to the simulation's queue.
+// It never mutates model state, so every model-observable quantity (packet
+// timestamps, protocol stats, delivered bytes) is unchanged — but raw
+// Simulation::events_processed() counts will include the ticks. Experiments
+// that pin event counts should leave samplers off (StackTracer::Options).
+
+#ifndef SRC_TRACE_SAMPLER_H_
+#define SRC_TRACE_SAMPLER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/sim/simulation.h"
+#include "src/trace/recorder.h"
+
+namespace newtos {
+
+class TraceSamplers {
+ public:
+  TraceSamplers(Simulation* sim, TraceRecorder* rec) : sim_(sim), rec_(rec) {}
+
+  TraceSamplers(const TraceSamplers&) = delete;
+  TraceSamplers& operator=(const TraceSamplers&) = delete;
+
+  // Registers a probe; sampled every tick while started. Setup-time only.
+  void Add(TrackId track, NameId name, std::function<int64_t()> probe);
+
+  // Begins ticking every `interval` (first tick after one interval).
+  // Idempotent; Start on a running sampler just updates the interval.
+  void Start(SimTime interval);
+
+  // Cancels the pending tick. Safe when not running.
+  void Stop();
+
+  bool running() const { return running_; }
+  size_t probes() const { return probes_.size(); }
+
+ private:
+  void Tick();
+
+  struct Probe {
+    TrackId track = 0;
+    NameId name = 0;
+    std::function<int64_t()> fn;
+  };
+
+  Simulation* sim_;
+  TraceRecorder* rec_;
+  std::vector<Probe> probes_;
+  SimTime interval_ = 0;
+  bool running_ = false;
+  EventHandle next_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_TRACE_SAMPLER_H_

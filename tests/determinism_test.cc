@@ -12,9 +12,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 
 #include "src/core/steering.h"
 #include "src/core/testbed.h"
+#include "src/trace/stack_trace.h"
 #include "src/workload/iperf.h"
 
 namespace newtos {
@@ -36,14 +38,33 @@ class TraceHasher {
   uint64_t h_ = 0xcbf29ce484222325ULL;
 };
 
+// Tracing configuration for a hashed run. kNoSamplers records spans, hops
+// and instants only — that path schedules no simulation events, so even the
+// event count must match an untraced run. kWithSamplers adds the periodic
+// counter ticks, which do raise events_processed but must never touch
+// model-observable state.
+enum class Tracing { kNone, kNoSamplers, kWithSamplers };
+
 // Runs a bulk-TCP transmit scenario and hashes every integer observable the
 // engine influences: event counts, NIC counters on both ends, delivered
-// bytes, and TCP protocol statistics.
-uint64_t BulkTraceHash(FreqKhz stack_freq, double loss) {
+// bytes, and TCP protocol statistics. `fold_event_count` is false only for
+// sampler comparisons, where the tick events legitimately inflate
+// events_processed without perturbing the model.
+uint64_t BulkTraceHash(FreqKhz stack_freq, double loss, Tracing tracing = Tracing::kNone,
+                       bool fold_event_count = true) {
   TestbedOptions options;
   options.link_loss = loss;
   Testbed tb(options);
   DedicatedSlowPlan(*tb.stack(), stack_freq, 3'600'000 * kKhz).Apply(tb.machine());
+
+  std::unique_ptr<StackTracer> tracer;
+  if (tracing != Tracing::kNone) {
+    StackTracer::Options topt;
+    topt.ring_capacity = 1 << 16;
+    topt.samplers = tracing == Tracing::kWithSamplers;
+    tracer = std::make_unique<StackTracer>(&tb.sim(), tb.stack(), topt);
+    tracer->Enable();
+  }
 
   SocketApi* api = tb.stack()->CreateApp("iperf", tb.machine().core(0));
   IperfSender::Params sp;
@@ -56,7 +77,9 @@ uint64_t BulkTraceHash(FreqKhz stack_freq, double loss) {
 
   TraceHasher h;
   h.Fold(static_cast<uint64_t>(tb.sim().Now()));
-  h.Fold(tb.sim().events_processed());
+  if (fold_event_count) {
+    h.Fold(tb.sim().events_processed());
+  }
   const Nic::Stats& sut = tb.machine().nic()->stats();
   h.Fold(sut.tx_packets);
   h.Fold(sut.tx_bytes);
@@ -117,6 +140,32 @@ TEST(Determinism, MatchesGoldenAtKneeFrequency) {
   // 2.0 GHz: the fig2 knee, where stack cores saturate and RX rings drop.
   EXPECT_EQ(BulkTraceHash(2'000'000 * kKhz, 0.0), kGoldenKnee)
       << "engine trace diverged from the seed-captured golden (knee frequency)";
+}
+
+TEST(Determinism, SpanTracingDoesNotPerturbTheGolden) {
+  // Span/hop/instant recording schedules no events and touches no model
+  // state, so a fully traced run must reproduce the untraced golden exactly —
+  // including the event count.
+  EXPECT_EQ(BulkTraceHash(3'600'000 * kKhz, 0.0, Tracing::kNoSamplers), kGoldenLossFree)
+      << "tracing perturbed the simulation (loss-free bulk TX)";
+}
+
+TEST(Determinism, SpanTracingDoesNotPerturbTheLossyGolden) {
+  // The lossy path exercises RTO timers and retransmit ordering; tracing
+  // must not shift any of it.
+  EXPECT_EQ(BulkTraceHash(3'600'000 * kKhz, 0.01, Tracing::kNoSamplers), kGoldenLossy)
+      << "tracing perturbed the simulation (1% loss bulk TX)";
+}
+
+TEST(Determinism, SamplersDoNotPerturbModelObservables) {
+  // Counter sampling adds tick events (events_processed grows), but every
+  // model observable — NIC counters, delivered bytes, TCP statistics — must
+  // be bit-identical to an untraced run.
+  const uint64_t untraced = BulkTraceHash(3'600'000 * kKhz, 0.01, Tracing::kNone,
+                                          /*fold_event_count=*/false);
+  const uint64_t sampled = BulkTraceHash(3'600'000 * kKhz, 0.01, Tracing::kWithSamplers,
+                                         /*fold_event_count=*/false);
+  EXPECT_EQ(untraced, sampled) << "sampler ticks perturbed model-observable state";
 }
 
 }  // namespace

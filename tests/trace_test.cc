@@ -1,0 +1,354 @@
+// Tracing subsystem tests: ring semantics, folded-stack aggregation, the
+// disabled fast path, and the Chrome-trace exporter — whose output is pinned
+// byte-for-byte against a golden so that accidental format drift (which
+// would break saved Perfetto workflows and the byte-identical-export
+// guarantee) fails loudly.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/steering.h"
+#include "src/core/testbed.h"
+#include "src/sim/simulation.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/folded_stack.h"
+#include "src/trace/recorder.h"
+#include "src/trace/sampler.h"
+#include "src/trace/stack_trace.h"
+#include "src/workload/iperf.h"
+
+namespace newtos {
+namespace {
+
+// --- Recorder ring -----------------------------------------------------------
+
+TEST(TraceRecorder, DisabledRecordIsANoOp) {
+  TraceRecorder rec(16);
+  const TrackId t = rec.RegisterTrack("t");
+  const NameId n = rec.InternName("x");
+  ASSERT_FALSE(rec.enabled());
+  for (int i = 0; i < 100; ++i) {
+    rec.Instant(i, t, n);
+  }
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRecorder(1).capacity(), 1u);
+  EXPECT_EQ(TraceRecorder(7).capacity(), 8u);
+  EXPECT_EQ(TraceRecorder(8).capacity(), 8u);
+  EXPECT_EQ(TraceRecorder(9).capacity(), 16u);
+  EXPECT_EQ(TraceRecorder(0).capacity(), 1u);
+}
+
+TEST(TraceRecorder, WraparoundKeepsNewestAndCountsDropped) {
+  TraceRecorder rec(8);
+  const TrackId t = rec.RegisterTrack("t");
+  const NameId n = rec.InternName("x");
+  rec.set_enabled(true);
+  for (int i = 0; i < 11; ++i) {
+    rec.Counter(i, t, n, i);
+  }
+  EXPECT_EQ(rec.recorded(), 11u);
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.dropped(), 3u);
+
+  // ForEach visits the surviving window (events 3..10) oldest-first.
+  std::vector<int64_t> seen;
+  rec.ForEach([&](const TraceEvent& e) { seen.push_back(e.value); });
+  ASSERT_EQ(seen.size(), 8u);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], static_cast<int64_t>(i + 3));
+  }
+}
+
+TEST(TraceRecorder, ClearForgetsEventsButKeepsInterning) {
+  TraceRecorder rec(8);
+  const TrackId t = rec.RegisterTrack("t");
+  const NameId n = rec.InternName("x");
+  rec.set_enabled(true);
+  rec.Instant(1, t, n);
+  rec.Clear();
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.InternName("x"), n) << "interned names must survive Clear()";
+}
+
+TEST(TraceRecorder, InternNameIsStable) {
+  TraceRecorder rec(4);
+  const NameId a = rec.InternName("alpha");
+  const NameId b = rec.InternName("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(rec.InternName("alpha"), a);
+  EXPECT_EQ(rec.NameOf(a), "alpha");
+  EXPECT_EQ(rec.NameOf(b), "beta");
+}
+
+// --- Folded stacks -----------------------------------------------------------
+
+TEST(FoldedStacks, NestedSpansSplitSelfTime) {
+  TraceRecorder rec(64);
+  const TrackId t = rec.RegisterTrack("srv");
+  const NameId outer = rec.InternName("outer");
+  const NameId inner = rec.InternName("inner");
+  rec.set_enabled(true);
+  rec.SpanBegin(0, t, outer);
+  rec.SpanBegin(100, t, inner);
+  rec.SpanEnd(400, t, inner);
+  rec.SpanEnd(1000, t, outer);
+
+  FoldedStacks fs(rec);
+  EXPECT_EQ(fs.unmatched(), 0u);
+  ASSERT_TRUE(fs.stats().count("srv;outer"));
+  ASSERT_TRUE(fs.stats().count("srv;outer;inner"));
+  EXPECT_EQ(fs.stats().at("srv;outer").total, 700);  // 1000 inclusive - 300 child
+  EXPECT_EQ(fs.stats().at("srv;outer;inner").total, 300);
+}
+
+TEST(FoldedStacks, CompleteEventsNestLikeSpans) {
+  // The server burst encoding: parent complete first, children after, in
+  // begin order. Self time must match the equivalent begin/end encoding.
+  TraceRecorder rec(64);
+  const TrackId t = rec.RegisterTrack("srv");
+  const NameId burst = rec.InternName("burst");
+  const NameId a = rec.InternName("a");
+  const NameId b = rec.InternName("b");
+  rec.set_enabled(true);
+  rec.Complete(0, t, burst, 1000);
+  rec.Complete(100, t, a, 300);
+  rec.Complete(400, t, b, 200);
+
+  FoldedStacks fs(rec);
+  EXPECT_EQ(fs.unmatched(), 0u);
+  EXPECT_EQ(fs.stats().at("srv;burst").total, 500);  // 1000 - 300 - 200
+  EXPECT_EQ(fs.stats().at("srv;burst;a").total, 300);
+  EXPECT_EQ(fs.stats().at("srv;burst;b").total, 200);
+}
+
+TEST(FoldedStacks, BackToBackCompletesDoNotNest) {
+  // Sibling bursts: the second begins exactly where the first ends, so it
+  // must be retired as a sibling, not stacked as a child.
+  TraceRecorder rec(64);
+  const TrackId t = rec.RegisterTrack("srv");
+  const NameId burst = rec.InternName("burst");
+  rec.set_enabled(true);
+  rec.Complete(0, t, burst, 100);
+  rec.Complete(100, t, burst, 100);
+  rec.Complete(200, t, burst, 100);
+
+  FoldedStacks fs(rec);
+  EXPECT_EQ(fs.unmatched(), 0u);
+  const StageStat& s = fs.stats().at("srv;burst");
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.total, 300);
+}
+
+TEST(FoldedStacks, AsyncHopsAggregateByTrackAndName) {
+  TraceRecorder rec(64);
+  const TrackId t = rec.RegisterTrack("chan");
+  const NameId hop = rec.InternName("in-flight");
+  rec.set_enabled(true);
+  rec.AsyncBegin(0, t, hop, 1);
+  rec.AsyncBegin(50, t, hop, 2);  // overlapping hops: distinct pair ids
+  rec.AsyncEnd(250, t, hop, 1);
+  rec.AsyncEnd(400, t, hop, 2);
+
+  FoldedStacks fs(rec);
+  EXPECT_EQ(fs.unmatched(), 0u);
+  const StageStat& s = fs.stats().at("chan;in-flight");
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.total, 250 + 350);
+  EXPECT_EQ(s.min, 250);
+  EXPECT_EQ(s.max, 350);
+}
+
+TEST(FoldedStacks, UnmatchedEventsAreCountedNotCrashed) {
+  TraceRecorder rec(64);
+  const TrackId t = rec.RegisterTrack("srv");
+  const NameId n = rec.InternName("x");
+  rec.set_enabled(true);
+  rec.SpanEnd(100, t, n);         // end with no begin (fell off the ring)
+  rec.AsyncEnd(200, t, n, 9);     // async end with no begin
+  rec.SpanBegin(300, t, n);       // begin with no end (still open)
+
+  FoldedStacks fs(rec);
+  EXPECT_EQ(fs.unmatched(), 3u);
+}
+
+// --- Chrome-trace exporter ---------------------------------------------------
+
+// One event of every kind, on a named ranked track. Pinned byte-for-byte:
+// if this test fails because you *intended* to change the format, update the
+// golden in the same commit — and remember saved traces and viewer recipes.
+void FillGoldenRecorder(TraceRecorder& rec) {
+  const TrackId t = rec.RegisterTrack("srv", 5);
+  const NameId burst = rec.InternName("burst");
+  const NameId msg = rec.InternName("PacketRx");
+  const NameId crash = rec.InternName("crash");
+  const NameId depth = rec.InternName("depth");
+  rec.set_enabled(true);
+  rec.Complete(1000000, t, burst, 500000);
+  rec.Complete(1100000, t, msg, 300000, 42);
+  rec.AsyncBegin(2000000, t, msg, 7);
+  rec.AsyncEnd(2500000, t, msg, 7);
+  rec.Instant(2600000, t, crash);
+  rec.Counter(2700000, t, depth, 3);
+  rec.SpanBegin(3000000, t, msg, 9);
+  rec.SpanEnd(3200000, t, msg, 9);
+}
+
+constexpr const char* kGoldenChromeTrace =
+    R"({"displayTimeUnit":"ms","traceEvents":[
+{"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"trace"}},
+{"ph":"M","pid":1,"tid":0,"name":"thread_sort_index","args":{"sort_index":0}},
+{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"srv"}},
+{"ph":"M","pid":1,"tid":1,"name":"thread_sort_index","args":{"sort_index":5}},
+{"pid":1,"tid":1,"ts":1.000000,"ph":"X","name":"burst","dur":0.500000},
+{"pid":1,"tid":1,"ts":1.100000,"ph":"X","name":"PacketRx","dur":0.300000,"args":{"flow":42}},
+{"pid":1,"tid":1,"ts":2.000000,"ph":"b","cat":"hop","id":7,"name":"PacketRx"},
+{"pid":1,"tid":1,"ts":2.500000,"ph":"e","cat":"hop","id":7,"name":"PacketRx"},
+{"pid":1,"tid":1,"ts":2.600000,"ph":"i","s":"t","name":"crash"},
+{"pid":1,"tid":1,"ts":2.700000,"ph":"C","name":"depth","args":{"value":3}},
+{"pid":1,"tid":1,"ts":3.000000,"ph":"B","name":"PacketRx","args":{"flow":9}},
+{"pid":1,"tid":1,"ts":3.200000,"ph":"E"}
+]}
+)";
+
+TEST(ChromeTrace, MatchesGoldenBytes) {
+  TraceRecorder rec(16);
+  FillGoldenRecorder(rec);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteChromeTrace(rec, out));
+  EXPECT_EQ(out.str(), kGoldenChromeTrace);
+}
+
+TEST(ChromeTrace, ExportIsByteIdenticalAcrossRuns) {
+  auto render = [] {
+    TraceRecorder rec(16);
+    FillGoldenRecorder(rec);
+    std::ostringstream out;
+    WriteChromeTrace(rec, out);
+    return out.str();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+TEST(ChromeTrace, FileExportMatchesStreamExport) {
+  TraceRecorder rec(16);
+  FillGoldenRecorder(rec);
+  const std::string path = ::testing::TempDir() + "/trace_test_chrome.json";
+  ASSERT_TRUE(WriteChromeTraceFile(rec, path));
+  std::ifstream f(path, std::ios::binary);
+  std::stringstream contents;
+  contents << f.rdbuf();
+  EXPECT_EQ(contents.str(), kGoldenChromeTrace);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, FileExportFailsCleanlyOnBadPath) {
+  TraceRecorder rec(16);
+  FillGoldenRecorder(rec);
+  EXPECT_FALSE(WriteChromeTraceFile(rec, "/nonexistent-dir/trace.json"));
+}
+
+TEST(ChromeTrace, EscapesNamesAndNegativeTimestampsDoNotAppear) {
+  TraceRecorder rec(16);
+  const TrackId t = rec.RegisterTrack("a\"b\\c");
+  const NameId n = rec.InternName("x\"y");
+  rec.set_enabled(true);
+  rec.Instant(5, t, n);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteChromeTrace(rec, out));
+  EXPECT_NE(out.str().find("a\\\"b\\\\c"), std::string::npos);
+  EXPECT_NE(out.str().find("x\\\"y"), std::string::npos);
+}
+
+// --- Samplers ----------------------------------------------------------------
+
+TEST(TraceSamplers, TicksEmitCountersAndStopCancels) {
+  Simulation sim;
+  TraceRecorder rec(1 << 10);
+  TraceSamplers samplers(&sim, &rec);
+  int64_t value = 0;
+  samplers.Add(rec.RegisterTrack("t"), rec.InternName("v"), [&] { return value++; });
+  rec.set_enabled(true);
+  samplers.Start(kMillisecond);
+  sim.RunFor(10 * kMillisecond + kMicrosecond);
+  const uint64_t after_run = rec.recorded();
+  EXPECT_GE(after_run, 10u);
+  samplers.Stop();
+  sim.RunFor(10 * kMillisecond);
+  EXPECT_EQ(rec.recorded(), after_run) << "Stop() must cancel the tick chain";
+
+  // Every recorded event is a counter with the sampled sequence.
+  int64_t expect = 0;
+  rec.ForEach([&](const TraceEvent& e) {
+    EXPECT_EQ(e.type, TraceEventType::kCounter);
+    EXPECT_EQ(e.value, expect++);
+  });
+}
+
+// --- StackTracer end-to-end --------------------------------------------------
+
+TEST(StackTracer, TracedBulkRunRecordsBalancedSpans) {
+  Testbed tb;
+  DedicatedSlowPlan(*tb.stack(), 3'600'000 * kKhz, 3'600'000 * kKhz).Apply(tb.machine());
+  StackTracer::Options topt;
+  topt.ring_capacity = 1 << 18;
+  StackTracer tracer(&tb.sim(), tb.stack(), topt);
+
+  SocketApi* api = tb.stack()->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params sp;
+  sp.dst = tb.peer_addr();
+  IperfSender sender(api, sp);
+  IperfPeerSink sink(&tb.peer());
+  sender.Start();
+  tracer.Enable();
+  tb.sim().RunFor(2 * kMillisecond);
+  tracer.Disable();
+
+  EXPECT_GT(tracer.recorder().recorded(), 1000u);
+  EXPECT_EQ(tracer.recorder().dropped(), 0u);
+
+  // Every stage of the pipeline shows up in the folded profile, and hops
+  // pair up (no unmatched beyond packets in flight at the enable boundary).
+  FoldedStacks fs(tracer.recorder());
+  EXPECT_LT(fs.unmatched(), 64u);
+  bool saw_burst = false;
+  bool saw_hop = false;
+  for (const auto& [key, stat] : fs.stats()) {
+    if (key.find(";burst") != std::string::npos) {
+      saw_burst = true;
+    }
+    if (key.find("in-flight") != std::string::npos) {
+      saw_hop = true;
+    }
+  }
+  EXPECT_TRUE(saw_burst);
+  EXPECT_TRUE(saw_hop);
+}
+
+TEST(StackTracer, WiredButNeverEnabledRecordsNothing) {
+  Testbed tb;
+  StackTracer tracer(&tb.sim(), tb.stack());
+
+  SocketApi* api = tb.stack()->CreateApp("iperf", tb.machine().core(0));
+  IperfSender::Params sp;
+  sp.dst = tb.peer_addr();
+  IperfSender sender(api, sp);
+  IperfPeerSink sink(&tb.peer());
+  sender.Start();
+  tb.sim().RunFor(20 * kMillisecond);
+
+  EXPECT_EQ(tracer.recorder().recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace newtos
