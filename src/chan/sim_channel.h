@@ -28,6 +28,10 @@
 #include "src/sim/time.h"
 #include "src/trace/recorder.h"
 
+#if NEWTOS_CHECKERS
+#include "src/check/channel_checker.h"
+#endif
+
 namespace newtos {
 
 struct ChannelCostModel {
@@ -96,10 +100,31 @@ class SimChannel {
     trace_hop_ = hop_name;
   }
 
+#if NEWTOS_CHECKERS
+  // Protocol checker (src/check/channel_checker.h): validates the SPSC
+  // discipline and FIFO order on this channel. Wired once at setup; with no
+  // checker attached every hook is one predictable branch, and with the
+  // macro off the hooks (and the push cursor) are not compiled at all.
+  void EnableCheck(ChannelChecker* check) {
+    check_ = check;
+    if (check_ != nullptr) {
+      check_->Register(this, name_);
+    }
+  }
+  ChannelChecker* check() const { return check_; }
+#endif
+
   // Enqueues; returns false if the channel is full (message dropped, counted).
   // A tap-injected drop returns true: the producer's enqueue succeeded, the
   // message was lost in transit — indistinguishable from the producer's side.
   bool Push(T msg) {
+    uint64_t seq = 0;
+#if NEWTOS_CHECKERS
+    seq = ++check_seq_;
+    if (check_ != nullptr) {
+      check_->OnProducerPush(this, seq, TraceIdsOf(msg).hop);
+    }
+#endif
     if (tap_) {
       const ChanTapDecision d = tap_(msg);
       switch (d.action) {
@@ -107,19 +132,24 @@ class SimChannel {
           break;
         case ChanTapAction::kDrop:
           ++stats_.injected_drops;
+#if NEWTOS_CHECKERS
+          if (check_ != nullptr) {
+            check_->OnDrop(this, TraceIdsOf(msg).hop);
+          }
+#endif
           return true;
         case ChanTapAction::kDuplicate:
           ++stats_.injected_dups;
-          PushDirect(msg);  // the copy; capacity full_drops apply as usual
+          EnqueueInOrder(msg, seq);  // the copy; capacity full_drops apply as usual
           break;
         case ChanTapAction::kDelay:
           ++stats_.injected_delays;
-          delayed_.push_back(Delayed{sim_->Now() + d.delay, std::move(msg)});
+          delayed_.push_back(Delayed{sim_->Now() + d.delay, std::move(msg), seq});
           sim_->Schedule(d.delay, [this] { ReleaseDelayed(); });
           return true;
       }
     }
-    return PushDirect(std::move(msg));
+    return EnqueueInOrder(std::move(msg), seq);
   }
 
   std::optional<T> Pop() {
@@ -129,6 +159,11 @@ class SimChannel {
     std::optional<T> out(std::move(queue_.front()));
     queue_.pop_front();
     ++stats_.pops;
+#if NEWTOS_CHECKERS
+    if (check_ != nullptr) {
+      check_->OnPop(this, TraceIdsOf(*out).hop);
+    }
+#endif
     if (TraceOn(trace_rec_)) {
       const TraceIds ids = TraceIdsOf(*out);
       if (ids.hop != 0) {
@@ -144,11 +179,29 @@ class SimChannel {
   struct Delayed {
     SimTime due = 0;
     T msg;
+    uint64_t check_seq = 0;  // push-cursor value, for the protocol checker
   };
 
-  bool PushDirect(T msg) {
+  // A message that arrives while earlier ones are held back by a delay tap
+  // must not overtake them: the ring is a FIFO, and a stalled slot blocks
+  // everything behind it. Queue it behind the held messages, already due;
+  // the pending release event delivers the whole run in push order.
+  bool EnqueueInOrder(T msg, [[maybe_unused]] uint64_t seq) {
+    if (!delayed_.empty()) {
+      delayed_.push_back(Delayed{sim_->Now(), std::move(msg), seq});
+      return true;  // accepted; capacity is accounted at release, like kDelay
+    }
+    return PushDirect(std::move(msg), seq);
+  }
+
+  bool PushDirect(T msg, [[maybe_unused]] uint64_t seq = 0) {
     if (full()) {
       ++stats_.full_drops;
+#if NEWTOS_CHECKERS
+      if (check_ != nullptr) {
+        check_->OnDrop(this, TraceIdsOf(msg).hop);
+      }
+#endif
       return false;
     }
     if (TraceOn(trace_rec_)) {
@@ -157,6 +210,11 @@ class SimChannel {
         trace_rec_->AsyncBegin(sim_->Now(), trace_track_, trace_hop_, ids.hop);
       }
     }
+#if NEWTOS_CHECKERS
+    if (check_ != nullptr) {
+      check_->OnDeliver(this, seq);
+    }
+#endif
     const bool was_empty = queue_.empty();
     queue_.push_back(std::move(msg));
     ++stats_.pushes;
@@ -179,7 +237,7 @@ class SimChannel {
   // nothing is ever stranded.
   void ReleaseDelayed() {
     while (!delayed_.empty() && delayed_.front().due <= sim_->Now()) {
-      PushDirect(std::move(delayed_.front().msg));
+      PushDirect(std::move(delayed_.front().msg), delayed_.front().check_seq);
       delayed_.pop_front();
     }
   }
@@ -197,6 +255,11 @@ class SimChannel {
   TraceRecorder* trace_rec_ = nullptr;
   TrackId trace_track_ = 0;
   NameId trace_hop_ = 0;
+
+#if NEWTOS_CHECKERS
+  ChannelChecker* check_ = nullptr;
+  uint64_t check_seq_ = 0;  // push cursor: strictly monotone per channel
+#endif
 };
 
 }  // namespace newtos

@@ -28,6 +28,11 @@
 #include <type_traits>
 #include <utility>
 
+#if NEWTOS_CHECKERS
+#include <functional>
+#include <thread>
+#endif
+
 namespace newtos {
 
 #ifdef __cpp_lib_hardware_interference_size
@@ -66,6 +71,9 @@ class SpscRing {
 
   // Attempts to enqueue; returns false if the ring is full.
   bool TryPush(T value) {
+#if NEWTOS_CHECKERS
+    CheckSide(producer_thread_);
+#endif
     const size_t head = head_.load(std::memory_order_relaxed);
     if (head - cached_tail_ > mask_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
@@ -81,6 +89,9 @@ class SpscRing {
   // Constructs in place; returns false if full.
   template <typename... Args>
   bool TryEmplace(Args&&... args) {
+#if NEWTOS_CHECKERS
+    CheckSide(producer_thread_);
+#endif
     const size_t head = head_.load(std::memory_order_relaxed);
     if (head - cached_tail_ > mask_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
@@ -102,6 +113,9 @@ class SpscRing {
 
   // Attempts to dequeue.
   std::optional<T> TryPop() {
+#if NEWTOS_CHECKERS
+    CheckSide(consumer_thread_);
+#endif
     const size_t tail = tail_.load(std::memory_order_relaxed);
     if (cached_head_ == tail) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -119,6 +133,9 @@ class SpscRing {
   // Peeks without consuming (consumer thread only). Pointer valid until the
   // next TryPop.
   const T* Front() {
+#if NEWTOS_CHECKERS
+    CheckSide(consumer_thread_);
+#endif
     const size_t tail = tail_.load(std::memory_order_relaxed);
     if (cached_head_ == tail) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -131,6 +148,9 @@ class SpscRing {
 
   // True if the consumer currently sees an empty ring.
   bool EmptyConsumer() {
+#if NEWTOS_CHECKERS
+    CheckSide(consumer_thread_);
+#endif
     const size_t tail = tail_.load(std::memory_order_relaxed);
     if (cached_head_ == tail) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -142,6 +162,29 @@ class SpscRing {
   size_t SizeConsumer() const {
     return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_relaxed);
   }
+
+#if NEWTOS_CHECKERS
+  // --- Thread-identity check (debug gate) ---
+  //
+  // The first thread to touch each side owns it for the ring's lifetime; a
+  // different thread showing up on an owned side is the SPSC contract
+  // violation that turns this lock-free structure into a data race. Counted,
+  // not asserted: the TSan harness (tests/spsc_tsan_test.cc) reads the
+  // counter, and release builds compile asserts out anyway. Costs one
+  // relaxed load per operation; compiled away entirely without the macro.
+
+  uint64_t check_violations() const {
+    return check_violations_.load(std::memory_order_relaxed);
+  }
+
+  // Forgets the side owners (e.g. between the single-threaded fill phase of
+  // a test and its threaded phase). Call only while no other thread is
+  // touching the ring.
+  void ResetCheckOwners() {
+    producer_thread_.store(0, std::memory_order_relaxed);
+    consumer_thread_.store(0, std::memory_order_relaxed);
+  }
+#endif
 
  private:
   struct Slot {
@@ -170,6 +213,28 @@ class SpscRing {
   // Consumer-owned line.
   alignas(kCacheLineBytes) std::atomic<size_t> tail_{0};
   size_t cached_head_ = 0;
+
+#if NEWTOS_CHECKERS
+  static uint64_t ThreadToken() {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+  }
+
+  void CheckSide(std::atomic<uint64_t>& owner) {
+    const uint64_t self = ThreadToken();
+    if (owner.load(std::memory_order_relaxed) == self) {
+      return;  // the common case: the bound owner calling again
+    }
+    uint64_t expected = 0;
+    if (!owner.compare_exchange_strong(expected, self, std::memory_order_relaxed) &&
+        expected != self) {
+      check_violations_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::atomic<uint64_t> producer_thread_{0};
+  std::atomic<uint64_t> consumer_thread_{0};
+  std::atomic<uint64_t> check_violations_{0};
+#endif
 };
 
 }  // namespace newtos

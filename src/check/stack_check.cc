@@ -1,0 +1,83 @@
+#include "src/check/stack_check.h"
+
+#include <string>
+#include <string_view>
+
+namespace newtos {
+
+#if NEWTOS_CHECKERS
+
+namespace {
+
+bool EndsWith(std::string_view name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.substr(name.size() - suffix.size()) == suffix;
+}
+
+// The stack's sanctioned deviations from strict SPSC. Everything not listed
+// here stays strict: one producer, one consumer, forever.
+//
+//   ip/tx      <- every TCP shard and the UDP server emit TX segments
+//   */acks     <- every watched server acks heartbeats into the watchdog
+//   */events   <- TCP, UDP and the syscall gateway all deliver to one app
+//   */app      <- socket requests arrive from every registered app (or the
+//                 gateway routing on their behalf)
+//   syscall/req<- every app funnels requests through the one gateway
+//   syscall/evt<- both L4 servers hand events back through the gateway
+const char* SharedReasonFor(std::string_view name) {
+  if (name == "ip/tx") {
+    return "every L4 server (TCP shards, UDP) emits TX segments into the one IP TX ring";
+  }
+  if (EndsWith(name, "/acks")) {
+    return "every watched server acks heartbeats into the watchdog's ring";
+  }
+  if (EndsWith(name, "/events")) {
+    return "TCP, UDP and the syscall gateway all deliver events to one app ring";
+  }
+  if (EndsWith(name, "/app")) {
+    return "socket requests arrive from every registered app (or the gateway)";
+  }
+  if (EndsWith(name, "/req")) {
+    return "every app funnels socket requests through the one gateway ring";
+  }
+  if (EndsWith(name, "/evt")) {
+    return "both L4 servers hand app events back through the gateway";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void StackChecker::AttachServer(Server* server) {
+  if (check_ == nullptr || server == nullptr) {
+    return;
+  }
+  const uint32_t actor = check_->RegisterActor(server->name());
+  server->EnableCheck(check_, actor);
+  for (Server::Chan* ch : server->Inputs()) {
+    if (const char* reason = SharedReasonFor(ch->name())) {
+      check_->DeclareSharedProducers(ch, reason);
+    }
+  }
+}
+
+void StackChecker::Attach(MultiserverStack* stack) {
+  if (check_ == nullptr || stack == nullptr) {
+    return;
+  }
+  for (Server* s : stack->SystemServers()) {
+    AttachServer(s);
+  }
+  for (AppProcess* app : stack->Apps()) {
+    AttachServer(app);
+  }
+}
+
+#else  // !NEWTOS_CHECKERS
+
+void StackChecker::AttachServer(Server*) {}
+void StackChecker::Attach(MultiserverStack*) {}
+
+#endif  // NEWTOS_CHECKERS
+
+}  // namespace newtos

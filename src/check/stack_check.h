@@ -1,0 +1,39 @@
+// StackChecker: wires a ChannelChecker onto a full multiserver stack.
+//
+// One call attaches every system server and app: each gets an actor
+// identity, each owned input ring registers with the checker, and the rings
+// that are multi-producer by design (see the table in the .cc) are declared
+// shared with their reasons. After a run, read the verdict off the
+// ChannelChecker (ok() / Report()).
+//
+// Compiled to no-ops when NEWTOS_CHECKERS is off, so fault campaigns can
+// keep the wiring call sites unconditionally.
+
+#ifndef SRC_CHECK_STACK_CHECK_H_
+#define SRC_CHECK_STACK_CHECK_H_
+
+#include "src/check/channel_checker.h"
+#include "src/os/server.h"
+#include "src/os/stack.h"
+
+namespace newtos {
+
+class StackChecker {
+ public:
+  explicit StackChecker(ChannelChecker* check) : check_(check) {}
+
+  // Attaches every system server and app of the stack. Call after the stack
+  // (and its apps) are built, before traffic flows.
+  void Attach(MultiserverStack* stack);
+
+  // Attaches one extra server (e.g. the fault tooling's WatchdogServer,
+  // which the stack itself never builds).
+  void AttachServer(Server* server);
+
+ private:
+  ChannelChecker* check_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_CHECK_STACK_CHECK_H_

@@ -122,6 +122,7 @@ size_t PacketPool::free_blocks() const {
 }
 
 PacketPool& PacketPool::Default() {
+  // lint:allow(heap-new): process-wide singleton, constructed once; leaked on purpose (see header)
   static PacketPool* pool = new PacketPool;  // leaked: see header comment
   return *pool;
 }

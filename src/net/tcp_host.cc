@@ -106,6 +106,7 @@ void TcpHost::Destroy(TcpConnection* conn) {
 
 size_t TcpHost::ReapClosed() {
   size_t reaped = 0;
+  // lint:allow(map-iteration): erase-only sweep; no observable depends on visit order
   for (auto it = conns_.begin(); it != conns_.end();) {
     if (it->second->state() == TcpState::kClosed) {
       it = conns_.erase(it);
@@ -120,9 +121,21 @@ size_t TcpHost::ReapClosed() {
 std::vector<TcpConnection*> TcpHost::Connections() const {
   std::vector<TcpConnection*> out;
   out.reserve(conns_.size());
-  for (const auto& [key, conn] : conns_) {
+  // conns_ is hash-ordered; callers iterate this list to fold per-connection
+  // stats and drive campaigns, so normalize to flow-key order — an unordered
+  // walk leaking out of this accessor is exactly the replay hazard the
+  // determinism goldens exist to catch.
+  for (const auto& [key, conn] : conns_) {  // lint:allow(map-iteration): order normalized by the sort below
     out.push_back(conn.get());
   }
+  std::sort(out.begin(), out.end(), [](const TcpConnection* a, const TcpConnection* b) {
+    const FlowKey& ka = a->key();
+    const FlowKey& kb = b->key();
+    if (ka.src_ip != kb.src_ip) return ka.src_ip < kb.src_ip;
+    if (ka.dst_ip != kb.dst_ip) return ka.dst_ip < kb.dst_ip;
+    if (ka.src_port != kb.src_port) return ka.src_port < kb.src_port;
+    return ka.dst_port < kb.dst_port;
+  });
   return out;
 }
 

@@ -149,6 +149,14 @@ class Server {
   // the traffic it interrupts.
   void EnableTrace(const ServerTraceHooks& hooks) { trace_ = hooks; }
 
+#if NEWTOS_CHECKERS
+  // Wires the channel-protocol checker (src/check): every input this server
+  // owns registers with it, and all draining/handling runs under `actor`'s
+  // identity so the checker can bind one producer and one consumer to each
+  // ring. Call after construction, once the inputs exist.
+  void EnableCheck(ChannelChecker* check, uint32_t actor);
+#endif
+
  protected:
   // Cycle cost of fully processing `msg` (dequeue + work + output enqueues).
   virtual Cycles CostFor(const Msg& msg) = 0;
@@ -230,6 +238,10 @@ class Server {
   uint64_t heartbeats_acked_ = 0;
   bool last_reported_idle_ = true;
   std::function<void(bool)> idle_observer_;
+#if NEWTOS_CHECKERS
+  ChannelChecker* check_ = nullptr;
+  uint32_t check_actor_ = 0;
+#endif
 };
 
 }  // namespace newtos

@@ -126,6 +126,7 @@ class EventHandle {
 // !Empty().
 class EventQueue {
  public:
+  // lint:allow(heap-new): one-time slab allocation at engine construction; events recycle slots
   EventQueue() : pool_(new EventSlotPool) {}
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;

@@ -69,11 +69,11 @@ TEST(ChanTap, DelayHoldsThenReleasesInOrder) {
     return d;
   });
   chan.Push(0);  // held back
-  chan.Push(1);  // sails through
-  EXPECT_EQ(chan.size(), 1u);
-  EXPECT_EQ(*chan.Front(), 1);
+  chan.Push(1);  // must not overtake the held message: the ring is a FIFO
+  EXPECT_EQ(chan.size(), 0u);
   sim.RunFor(200 * kMicrosecond);
   EXPECT_EQ(chan.size(), 2u);
+  EXPECT_EQ(*chan.Front(), 0);  // push order preserved through the delay
   EXPECT_EQ(chan.stats().injected_delays, 1u);
 }
 

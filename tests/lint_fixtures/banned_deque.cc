@@ -1,0 +1,4 @@
+// Lint fixture: one std::deque declaration.
+#include <deque>
+
+std::deque<int> backlog;

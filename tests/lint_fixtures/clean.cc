@@ -1,0 +1,22 @@
+// Lint fixture: a well-behaved file — no banned idiom anywhere. Every rule
+// runs over it and none may fire.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Counter {
+  uint64_t value = 0;
+};
+
+inline uint64_t Bump(Counter& c) { return ++c.value; }
+
+inline uint64_t SumAll(const std::vector<Counter>& counters) {
+  uint64_t s = 0;
+  for (const Counter& c : counters) {
+    s += c.value;
+  }
+  return s;
+}
+
+}  // namespace fixture

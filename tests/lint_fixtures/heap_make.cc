@@ -1,0 +1,10 @@
+// Lint fixture: one std::make_unique call. unique_ptr itself is fine.
+#include <memory>
+
+struct Blob {
+  int v = 0;
+};
+
+std::unique_ptr<Blob> Fresh() {
+  return std::make_unique<Blob>();
+}

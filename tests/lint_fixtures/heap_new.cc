@@ -1,0 +1,15 @@
+// Lint fixture: one non-placement `new` expression. The placement form and
+// the preprocessor line below must NOT fire.
+#include <new>
+
+struct Widget {
+  int v = 0;
+};
+
+Widget* Leak() {
+  return new Widget();
+}
+
+void PlacementIsFine(void* slab) {
+  new (slab) Widget();
+}

@@ -1,0 +1,18 @@
+// Lint fixture: one range-for over a std::map. Lookups on the same map must
+// not fire; only iteration is order-sensitive.
+#include <map>
+
+std::map<int, int> table;
+
+int Lookup(int key) {
+  auto it = table.find(key);
+  return it == table.end() ? 0 : it->second;
+}
+
+int Sum() {
+  int s = 0;
+  for (const auto& kv : table) {
+    s += kv.second;
+  }
+  return s;
+}

@@ -1,0 +1,14 @@
+// Lint fixture: one rand() call. Identifiers that merely contain the word
+// (rand_state below) and member calls (rng.rand()) must not fire.
+#include <cstdlib>
+
+struct Rng {
+  unsigned rand_state = 1;
+  int Next() { return static_cast<int>(rand_state *= 48271u); }
+};
+
+int Roll() {
+  Rng rng;
+  (void)rng.rand();
+  return rand() % 6;
+}

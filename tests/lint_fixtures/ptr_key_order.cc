@@ -1,0 +1,10 @@
+// Lint fixture: one std::map keyed by a pointer. The value-typed map next to
+// it must not fire (and neither map is iterated).
+#include <map>
+
+struct Conn {
+  int id = 0;
+};
+
+std::map<Conn*, int> by_addr;
+std::map<int, Conn> by_id;

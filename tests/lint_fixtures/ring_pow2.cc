@@ -1,0 +1,14 @@
+// Lint fixture: one ring constructed with a non-power-of-two literal. The
+// power-of-two ring and the runtime-sized ring must not fire.
+#include <cstddef>
+
+template <typename T>
+struct SpscRing {
+  explicit SpscRing(std::size_t capacity) { (void)capacity; }
+};
+
+void Build(std::size_t n) {
+  SpscRing<int> odd(100);
+  SpscRing<int> even(128);
+  SpscRing<int> dynamic(n);
+}

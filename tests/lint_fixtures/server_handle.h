@@ -1,0 +1,16 @@
+// Lint fixture: a Server subclass with no Handle() override. The base class
+// definition itself must not fire.
+#ifndef TESTS_LINT_FIXTURES_SERVER_HANDLE_H_
+#define TESTS_LINT_FIXTURES_SERVER_HANDLE_H_
+
+class Server {
+ public:
+  virtual ~Server() = default;
+};
+
+class MuteServer : public Server {
+ public:
+  int value() const { return 0; }
+};
+
+#endif  // TESTS_LINT_FIXTURES_SERVER_HANDLE_H_

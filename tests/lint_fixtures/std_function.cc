@@ -1,0 +1,7 @@
+// Lint fixture: one std::function use. A comment mentioning std::function
+// must not fire, nor must the <functional> include.
+#include <functional>
+
+void Call(const std::function<int()>& f) {
+  f();
+}

@@ -1,0 +1,7 @@
+// Lint fixture: one steady_clock read. The word in this comment
+// (steady_clock) must not fire — comments are blanked before matching.
+#include <chrono>
+
+long long HostNanos() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,209 @@
+// lint.toml parser: a deliberate TOML subset — `[rule.<id>]` tables with a
+// `paths` string array, and `[[allow]]` array-of-tables entries with `rule`,
+// `path` and `reason` strings. Comments (#) and blank lines are free. The
+// subset is small enough to parse by hand, which keeps the linter free of
+// third-party dependencies (it must build in the bare CI image).
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "tools/lint/lint.h"
+
+namespace newtos::lint {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+// Strips a trailing # comment that is not inside a double-quoted string.
+std::string StripComment(const std::string& s) {
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') {
+      in_string = !in_string;
+    } else if (s[i] == '#' && !in_string) {
+      return s.substr(0, i);
+    }
+  }
+  return s;
+}
+
+// Parses `"quoted"` at position `i` (on a quote). Advances past the closing
+// quote. No escape sequences — paths and rule ids never need them.
+bool ParseString(const std::string& s, size_t* i, std::string* out) {
+  if (*i >= s.size() || s[*i] != '"') {
+    return false;
+  }
+  const size_t end = s.find('"', *i + 1);
+  if (end == std::string::npos) {
+    return false;
+  }
+  *out = s.substr(*i + 1, end - *i - 1);
+  *i = end + 1;
+  return true;
+}
+
+bool ParseStringArray(const std::string& v, std::vector<std::string>* out) {
+  const std::string t = Trim(v);
+  if (t.size() < 2 || t.front() != '[' || t.back() != ']') {
+    return false;
+  }
+  size_t i = 1;
+  while (i < t.size() - 1) {
+    while (i < t.size() - 1 && (std::isspace(static_cast<unsigned char>(t[i])) || t[i] == ',')) {
+      ++i;
+    }
+    if (i >= t.size() - 1) {
+      break;
+    }
+    std::string item;
+    if (!ParseString(t, &i, &item)) {
+      return false;
+    }
+    out->push_back(item);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Config::RuleAppliesTo(const std::string& rule, const std::string& rel_path) const {
+  for (const RuleScope& scope : scopes) {
+    if (scope.rule != rule) {
+      continue;
+    }
+    for (const std::string& prefix : scope.paths) {
+      if (rel_path.compare(0, prefix.size(), prefix) == 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+const AllowEntry* Config::FindAllow(const std::string& rule, const std::string& rel_path) const {
+  for (const AllowEntry& a : allows) {
+    if (!a.rule.empty() && a.rule != rule) {
+      continue;
+    }
+    if (rel_path.compare(0, a.path.size(), a.path) == 0) {
+      a.used = true;
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+bool ParseConfig(const std::string& text, Config* config, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+
+  enum class Section { kNone, kRule, kAllow };
+  Section section = Section::kNone;
+  RuleScope* rule = nullptr;
+  AllowEntry* allow = nullptr;
+
+  auto fail = [&](const std::string& why) {
+    std::ostringstream oss;
+    oss << "lint.toml:" << lineno << ": " << why;
+    *error = oss.str();
+    return false;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = Trim(StripComment(line));
+    if (t.empty()) {
+      continue;
+    }
+    if (t == "[[allow]]") {
+      config->allows.emplace_back();
+      allow = &config->allows.back();
+      section = Section::kAllow;
+      continue;
+    }
+    if (t.front() == '[') {
+      if (t.back() != ']') {
+        return fail("unterminated table header");
+      }
+      const std::string name = Trim(t.substr(1, t.size() - 2));
+      if (name.compare(0, 5, "rule.") != 0) {
+        return fail("unknown table [" + name + "] (expected [rule.<id>] or [[allow]])");
+      }
+      config->scopes.emplace_back();
+      rule = &config->scopes.back();
+      rule->rule = name.substr(5);
+      section = Section::kRule;
+      continue;
+    }
+    const size_t eq = t.find('=');
+    if (eq == std::string::npos) {
+      return fail("expected key = value");
+    }
+    const std::string key = Trim(t.substr(0, eq));
+    const std::string value = Trim(t.substr(eq + 1));
+    if (section == Section::kRule) {
+      if (key != "paths") {
+        return fail("unknown key '" + key + "' in [rule.*] (expected paths)");
+      }
+      if (!ParseStringArray(value, &rule->paths)) {
+        return fail("paths must be an array of strings");
+      }
+    } else if (section == Section::kAllow) {
+      size_t i = 0;
+      std::string sval;
+      if (!ParseString(value, &i, &sval)) {
+        return fail(key + " must be a quoted string");
+      }
+      if (key == "rule") {
+        allow->rule = sval;
+      } else if (key == "path") {
+        allow->path = sval;
+      } else if (key == "reason") {
+        allow->reason = sval;
+      } else {
+        return fail("unknown key '" + key + "' in [[allow]]");
+      }
+    } else {
+      return fail("key outside any table");
+    }
+  }
+
+  for (const AllowEntry& a : config->allows) {
+    if (a.path.empty()) {
+      *error = "lint.toml: [[allow]] entry missing path";
+      return false;
+    }
+    if (a.reason.empty()) {
+      *error = "lint.toml: waiver for '" + (a.rule.empty() ? a.path : a.rule) + "' at '" +
+               a.path + "' has no reason — unexplained waivers are lint failures";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadConfig(const std::string& path, Config* config, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open config: " + path;
+    return false;
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return ParseConfig(oss.str(), config, error);
+}
+
+}  // namespace newtos::lint

@@ -1,0 +1,91 @@
+// newtos_lint CLI.
+//
+//   newtos_lint [--root DIR] [--config FILE] [--github] [--verbose]
+//
+// Exit codes: 0 clean (waivers are fine), 1 violations found, 2 usage or
+// I/O error. --github additionally emits GitHub Actions workflow commands
+// (`::error file=...,line=...`) so CI failures annotate the diff at the
+// offending line. --verbose also lists every waived finding with its reason,
+// which is how a reviewer audits the waiver surface.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+int main(int argc, char** argv) {
+  using newtos::lint::Config;
+  using newtos::lint::Diagnostic;
+
+  std::string root = ".";
+  std::string config_path;
+  bool github = false;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--github") {
+      github = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: newtos_lint [--root DIR] [--config FILE] [--github] [--verbose]\n");
+      return 2;
+    }
+  }
+  if (config_path.empty()) {
+    config_path = root + "/tools/lint/lint.toml";
+  }
+
+  Config config;
+  std::string error;
+  if (!newtos::lint::LoadConfig(config_path, &config, &error)) {
+    std::fprintf(stderr, "newtos_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  std::vector<Diagnostic> diags;
+  if (!newtos::lint::LintTree(root, config, &diags, &error)) {
+    std::fprintf(stderr, "newtos_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  int violations = 0;
+  int waived = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.waived) {
+      ++waived;
+      if (verbose) {
+        std::printf("%s:%d: waived [%s]: %s (reason: %s)\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str(), d.waive_reason.c_str());
+      }
+      continue;
+    }
+    ++violations;
+    std::printf("%s:%d: error [%s]: %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+    if (github) {
+      std::printf("::error file=%s,line=%d,title=newtos_lint %s::%s\n", d.file.c_str(), d.line,
+                  d.rule.c_str(), d.message.c_str());
+    }
+  }
+
+  // Stale waivers rot: an allow entry nothing matched any more is reported
+  // (but not fatal — a fix having landed is not an emergency).
+  for (const auto& a : config.allows) {
+    if (!a.used) {
+      std::fprintf(stderr, "newtos_lint: note: unused allow entry (rule=%s path=%s) — remove it\n",
+                   a.rule.empty() ? "*" : a.rule.c_str(), a.path.c_str());
+    }
+  }
+
+  std::printf("newtos_lint: %d violation%s, %d waived\n", violations, violations == 1 ? "" : "s",
+              waived);
+  return violations == 0 ? 0 : 1;
+}
