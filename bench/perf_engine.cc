@@ -15,6 +15,16 @@
 //              disabled — the shipping configuration), on (recording with
 //              samplers). The --check gate passes in *all three* modes: the
 //              trace fast path is a POD copy into a preallocated ring.
+//   --lanes N  fabric mode: a 32-client UDP incast through the switch
+//              fabric, swept over lane counts up to N, written to
+//              BENCH_fabric.json. Reports honest host wall-clock plus each
+//              lane's event share — the serial fraction that bounds the
+//              speedup a multicore host can extract (speedup <= 1/share);
+//              host_cpus records how many cores this host actually had.
+//              With --check: asserts the N-lane run reproduces the 1-lane
+//              digest bit-for-bit, performs zero steady-state allocations
+//              on every lane, and stays balanced enough that >= 2x speedup
+//              is available on a 4-core host (max share <= 0.5).
 
 #include <atomic>
 #include <chrono>
@@ -24,9 +34,12 @@
 #include <memory>
 #include <new>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/core/steering.h"
 #include "src/core/testbed.h"
+#include "src/fabric/incast.h"
 #include "src/metrics/report.h"
 #include "src/trace/stack_trace.h"
 #include "src/workload/iperf.h"
@@ -170,6 +183,169 @@ PerfResult MeasureEngine(SimTime window, TraceMode trace_mode) {
   return r;
 }
 
+// --- Fabric mode (--lanes) -------------------------------------------------
+
+struct FabricPerf {
+  int lanes = 0;
+  uint64_t events = 0;
+  uint64_t allocs = 0;
+  double wall_seconds = 0.0;
+  double max_lane_share = 0.0;
+  uint64_t digest = 0;
+  uint64_t delivered = 0;
+  std::vector<uint64_t> per_lane_events;
+
+  double events_per_sec() const { return static_cast<double>(events) / wall_seconds; }
+};
+
+// 32 clients flooding one sink at ~4x its egress line rate. The excess is
+// tail-dropped inside the fabric at zero cost to the destination lane, so
+// event load concentrates on the client lanes — the topology lanes exploit.
+FabricPerf MeasureFabric(int lanes, SimTime window) {
+  UdpIncastOptions o;
+  o.topo.n_clients = 32;
+  o.topo.lanes = lanes;
+  o.topo.seed = 42;
+  o.topo.fabric = IncastFabricDefaults();
+  o.topo.fabric.port_propagation = 20 * kMicrosecond;
+  o.payload_bytes = 1024;
+  o.pps_per_client = 150'000.0;
+  o.poisson = true;
+  UdpIncastBed bed(o);
+  bed.Start();
+
+  // Warm-up: every pool, ring and staging buffer to its high-water mark.
+  bed.RunFor(50 * kMillisecond);
+
+  LaneEngine& engine = bed.engine();
+  std::vector<uint64_t> events0(static_cast<size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) {
+    events0[static_cast<size_t>(i)] = engine.lane(i).sim().events_processed();
+  }
+  const uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  bed.RunFor(window);
+
+  const auto wall1 = std::chrono::steady_clock::now();
+  FabricPerf r;
+  r.lanes = lanes;
+  r.wall_seconds = std::chrono::duration<double>(wall1 - wall0).count();
+  r.allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+  r.per_lane_events.resize(static_cast<size_t>(lanes));
+  uint64_t max_lane = 0;
+  for (int i = 0; i < lanes; ++i) {
+    const uint64_t d =
+        engine.lane(i).sim().events_processed() - events0[static_cast<size_t>(i)];
+    r.per_lane_events[static_cast<size_t>(i)] = d;
+    r.events += d;
+    max_lane = max_lane > d ? max_lane : d;
+  }
+  r.max_lane_share =
+      r.events > 0 ? static_cast<double>(max_lane) / static_cast<double>(r.events) : 0.0;
+  r.digest = bed.Digest();
+  r.delivered = bed.delivered();
+  return r;
+}
+
+std::string LaneSweepJson(const std::vector<FabricPerf>& sweep) {
+  std::string out = "[";
+  char buf[256];
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const FabricPerf& r = sweep[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"lanes\": %d, \"events\": %llu, \"events_per_sec\": %.0f, "
+                  "\"wall_seconds\": %.6f, \"allocs\": %llu, \"max_lane_share\": %.4f}",
+                  i == 0 ? "" : ", ", r.lanes, static_cast<unsigned long long>(r.events),
+                  r.events_per_sec(), r.wall_seconds,
+                  static_cast<unsigned long long>(r.allocs), r.max_lane_share);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+int RunFabric(int lanes, bool check, const std::string& out_path) {
+  const SimTime window = check ? 50 * kMillisecond : 200 * kMillisecond;
+
+  std::vector<FabricPerf> sweep;
+  std::vector<int> counts;
+  for (int n = 1; n < lanes; n *= 2) {
+    counts.push_back(n);
+  }
+  counts.push_back(lanes);
+  if (check && lanes > 1) {
+    counts = {1, lanes};  // the equivalence pair; keep the gate fast
+  }
+  for (int n : counts) {
+    sweep.push_back(MeasureFabric(n, window));
+    const FabricPerf& r = sweep.back();
+    std::printf("lanes %-2d  events %10llu  events/sec %10.0f  allocs %6llu  "
+                "max lane share %.3f  digest %016llx\n",
+                r.lanes, static_cast<unsigned long long>(r.events), r.events_per_sec(),
+                static_cast<unsigned long long>(r.allocs), r.max_lane_share,
+                static_cast<unsigned long long>(r.digest));
+  }
+
+  const FabricPerf& base = sweep.front();
+  const FabricPerf& top = sweep.back();
+
+  if (check) {
+    if (top.digest != base.digest || top.delivered != base.delivered) {
+      std::fprintf(stderr,
+                   "FAIL: %d-lane run diverged from the 1-lane oracle "
+                   "(digest %016llx vs %016llx, delivered %llu vs %llu)\n",
+                   top.lanes, static_cast<unsigned long long>(top.digest),
+                   static_cast<unsigned long long>(base.digest),
+                   static_cast<unsigned long long>(top.delivered),
+                   static_cast<unsigned long long>(base.delivered));
+      return 1;
+    }
+    for (const FabricPerf& r : sweep) {
+      if (r.allocs != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu steady-state allocations in the %d-lane run; every lane's "
+                     "fast path must be allocation-free after warm-up\n",
+                     static_cast<unsigned long long>(r.allocs), r.lanes);
+        return 1;
+      }
+    }
+    if (top.lanes >= 4 && top.max_lane_share > 0.5) {
+      std::fprintf(stderr,
+                   "FAIL: max lane share %.3f > 0.5 — the busiest lane bounds speedup to "
+                   "%.1fx; the incast topology must leave >= 2x on a 4-core host\n",
+                   top.max_lane_share, 1.0 / top.max_lane_share);
+      return 1;
+    }
+    std::printf("OK: %d-lane run is bit-identical to the oracle, allocation-free, and "
+                "balanced (max lane share %.3f => %.1fx speedup available)\n",
+                top.lanes, top.max_lane_share, 1.0 / top.max_lane_share);
+    return 0;
+  }
+
+  JsonWriter w;
+  w.Str("bench", "perf_engine_fabric")
+      .Str("scenario", "udp_incast_32_clients")
+      .Int("host_cpus", static_cast<int64_t>(std::thread::hardware_concurrency()))
+      .Num("sim_window_ms", ToSeconds(window) * 1e3, 1)
+      .Raw("lane_sweep", LaneSweepJson(sweep))
+      .Num("events_per_sec_1lane", base.events_per_sec(), 0)
+      .Num("events_per_sec_top", top.events_per_sec(), 0)
+      .Num("wall_speedup_measured", base.wall_seconds / top.wall_seconds, 3)
+      .Num("max_lane_share_top", top.max_lane_share, 4)
+      .Num("speedup_bound_from_share",
+           top.max_lane_share > 0.0 ? 1.0 / top.max_lane_share : 0.0, 3)
+      .Bool("digests_identical", top.digest == base.digest)
+      .Uint("digest", base.digest)
+      .Uint("delivered_datagrams", base.delivered);
+  if (!WriteFileChecked(out_path, w.Finish())) {
+    std::fprintf(stderr, "perf_engine: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 bool WriteJson(const PerfResult& r, TraceMode trace_mode, const std::string& path) {
   JsonWriter w;
   w.Str("bench", "perf_engine")
@@ -196,13 +372,20 @@ bool WriteJson(const PerfResult& r, TraceMode trace_mode, const std::string& pat
 
 int Run(int argc, char** argv) {
   bool check = false;
+  int lanes = 0;  // 0 = engine mode; >= 1 = fabric mode
   TraceMode trace_mode = TraceMode::kOff;
-  std::string out = std::string(NEWTOS_REPO_ROOT) + "/BENCH_engine.json";
+  std::string out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strcmp(argv[i], "--lanes") == 0 && i + 1 < argc) {
+      lanes = std::atoi(argv[++i]);
+      if (lanes < 1) {
+        std::fprintf(stderr, "--lanes must be >= 1\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       const char* mode = argv[++i];
       if (std::strcmp(mode, "off") == 0) {
@@ -216,9 +399,21 @@ int Run(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::fprintf(stderr, "usage: %s [--check] [--trace off|wired|on] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--check] [--trace off|wired|on] [--lanes N] [--out PATH]\n",
+                   argv[0]);
       return 2;
     }
+  }
+
+  if (lanes > 0) {
+    if (out.empty()) {
+      out = std::string(NEWTOS_REPO_ROOT) + "/BENCH_fabric.json";
+    }
+    return RunFabric(lanes, check, out);
+  }
+  if (out.empty()) {
+    out = std::string(NEWTOS_REPO_ROOT) + "/BENCH_engine.json";
   }
 
   const SimTime window = check ? 50 * kMillisecond : 500 * kMillisecond;

@@ -1,0 +1,156 @@
+#include "src/fabric/lane.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace newtos {
+
+LaneEngine::LaneEngine(int lanes) {
+  assert(lanes >= 1);
+  lanes_.reserve(static_cast<size_t>(lanes));
+  for (int i = 0; i < lanes; ++i) {
+    // lint:allow(heap-new): one-time engine construction; Lane's ctor is private
+    lanes_.emplace_back(new Lane(i));
+    lanes_.back()->sim().set_lane(i);
+  }
+  if (lanes > 1) {
+    // lint:allow(heap-make): one-time engine construction
+    barrier_ = std::make_unique<std::barrier<Completion>>(static_cast<std::ptrdiff_t>(lanes),
+                                                          Completion{this});
+    workers_.reserve(static_cast<size_t>(lanes - 1));
+    for (int i = 1; i < lanes; ++i) {
+      workers_.emplace_back([this, lane = lanes_[static_cast<size_t>(i)].get()] {
+        WorkerMain(lane);
+      });
+    }
+  }
+}
+
+LaneEngine::~LaneEngine() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+  }
+  // Undelivered cross-lane arrivals (scheduled by the switch into the
+  // destination lane's queue) hold packets owned by the *source* lane's
+  // pool, so destroying lanes_ one Lane at a time would recycle packets
+  // into already-freed pools. Drain every queue while all pools are alive.
+  for (auto& lane : lanes_) {
+    lane->sim().DiscardPendingEvents();
+  }
+}
+
+void LaneEngine::SetLookahead(SimTime lookahead) {
+  assert(lookahead > 0);
+  lookahead_ = lookahead;
+}
+
+void LaneEngine::OnBarrier() noexcept {
+  // Runs on exactly one (arbitrary) thread while every lane is parked in
+  // arrive_and_wait at the same window edge — the only place fabric state
+  // and cross-lane scheduling are touched.
+  if (flush_) {
+    flush_();
+  }
+  if (window_ >= until_) {
+    run_done_ = true;
+  } else {
+    window_ = std::min(window_ + lookahead_, until_);
+  }
+}
+
+void LaneEngine::RunWindows(Lane* lane) {
+  PacketPool::ScopedUse use(&lane->pool());
+  for (;;) {
+    lane->sim().RunUntil(window_);
+    barrier_->arrive_and_wait();
+    if (run_done_) {
+      return;
+    }
+  }
+}
+
+void LaneEngine::WorkerMain(Lane* lane) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++parked_;
+      parked_cv_.notify_all();
+      cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = generation_;
+    }
+    RunWindows(lane);
+  }
+}
+
+void LaneEngine::RunUntil(SimTime until) {
+  assert(lookahead_ > 0 && "SetLookahead before running");
+  const SimTime start = Now();
+  if (until <= start) {
+    return;
+  }
+
+  if (lanes_.size() == 1) {
+    Lane& lane = *lanes_[0];
+    PacketPool::ScopedUse use(&lane.pool());
+    SimTime w = start;
+    while (w < until) {
+      w = std::min(w + lookahead_, until);
+      lane.sim().RunUntil(w);
+      if (flush_) {
+        flush_();
+      }
+    }
+    return;
+  }
+
+  {
+    // Wait for every worker to be parked in cv_.wait before touching the
+    // shared windowing state: a worker leaving the previous run's final
+    // barrier may not have re-parked yet, and mutating window_/run_done_
+    // under its feet would race with its last reads.
+    std::unique_lock<std::mutex> lock(mutex_);
+    parked_cv_.wait(lock, [&] { return parked_ == workers_.size(); });
+    parked_ = 0;
+    window_ = std::min(start + lookahead_, until);
+    until_ = until;
+    run_done_ = false;
+    ++generation_;
+  }
+  cv_.notify_all();
+  // The caller's thread is lane 0's worker; returns once every lane has
+  // reached `until` and the final flush ran. Workers re-park on their own.
+  RunWindows(lanes_[0].get());
+}
+
+uint64_t LaneEngine::TotalEventsProcessed() const {
+  uint64_t total = 0;
+  for (const auto& lane : lanes_) {
+    total += lane->sim().events_processed();
+  }
+  return total;
+}
+
+double LaneEngine::MaxLaneShare() const {
+  const uint64_t total = TotalEventsProcessed();
+  if (total == 0) {
+    return 0.0;
+  }
+  uint64_t max_lane = 0;
+  for (const auto& lane : lanes_) {
+    max_lane = std::max(max_lane, lane->sim().events_processed());
+  }
+  return static_cast<double>(max_lane) / static_cast<double>(total);
+}
+
+}  // namespace newtos

@@ -1,0 +1,205 @@
+#include "src/fabric/switch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace newtos {
+
+// Adapter the NIC calls at the adapter edge; routes into the owning switch.
+struct Switch::PortTap : NicPort {
+  Switch* sw = nullptr;
+  int port = 0;
+
+  void FrameFromNic(PacketPtr p, SimTime now) override { sw->Ingress(port, std::move(p), now); }
+};
+
+Switch::Switch(const SwitchParams& params) : params_(params) {
+  assert(params_.port_rate_gbps > 0.0);
+  assert(params_.switching_latency > 0);
+}
+
+Switch::~Switch() = default;
+
+int Switch::AttachNic(Nic* nic, Simulation* sim, Ipv4Addr addr, SimTime propagation) {
+  const int port = static_cast<int>(ports_.size());
+  // lint:allow(heap-make): one-time wiring at testbed construction, not per-frame
+  ports_.push_back(std::make_unique<Port>());
+  Port& p = *ports_.back();
+  p.nic = nic;
+  p.sim = sim;
+  p.propagation = propagation >= 0 ? propagation : params_.port_propagation;
+  p.egress_busy.reserve(params_.egress_queue_slots + 1);
+  // One lookahead window of staging at far beyond any port's line rate, so
+  // bursty arrivals never regrow the buffer mid-run (allocation-free Flush).
+  p.staged.reserve(64);
+  // lint:allow(heap-make): one-time wiring at testbed construction, not per-frame
+  p.tap = std::make_unique<PortTap>();
+  p.tap->sw = this;
+  p.tap->port = port;
+  nic->AttachPort(p.tap.get());
+  merge_scratch_.reserve(ports_.size() * 64);
+  min_propagation_ = port == 0 ? p.propagation : std::min(min_propagation_, p.propagation);
+  BindAddress(addr, port);
+  return port;
+}
+
+void Switch::BindAddress(Ipv4Addr addr, int port) {
+  assert(port >= 0 && port < num_ports());
+  routes_[addr] = port;
+  route_cache_port_ = -1;  // a rebind may shadow the cached route
+}
+
+SimTime Switch::EgressSerializationTime(uint32_t frame_bytes) const {
+  const double bits = static_cast<double>(frame_bytes + params_.frame_overhead_bytes) * 8.0;
+  const double seconds = bits / (params_.port_rate_gbps * 1e9);
+  return static_cast<SimTime>(std::llround(seconds * static_cast<double>(kSecond)));
+}
+
+void Switch::Ingress(int port, PacketPtr p, SimTime now) {
+  Port& in = *ports_[static_cast<size_t>(port)];
+  in.stats.in_frames++;
+  in.stats.in_bytes += p->FrameBytes();
+  in.staged.push_back(StagedFrame{now, std::move(p)});
+}
+
+void Switch::Flush() {
+  // Chronological merge over the per-port staging FIFOs (each is already in
+  // ingress-time order). Simultaneous arrivals on different ports are
+  // granted in rotating round-robin order starting at rr_next_ — the
+  // arbitration real input stages implement, so two synchronized equal
+  // senders split a contended egress port evenly instead of phase-locking
+  // into port-id priority. The merge consults only ingress timestamps and
+  // the rotation cursor (itself a function of the delivery sequence), so
+  // the resulting total order is independent of lane count and of the
+  // order ports were drained. The determinism hinge.
+  //
+  // Mechanically: gather (when, port, idx) refs, sort once, then walk tie
+  // groups. Poisson-spread traffic has singleton groups almost always, so
+  // the hot path is one sort comparison + one DeliverOne per frame instead
+  // of a per-frame min-scan over every port (which profiled as the single
+  // largest cost in the whole incast run).
+  const size_t n_ports = ports_.size();
+  merge_scratch_.clear();
+  for (size_t pi = 0; pi < n_ports; ++pi) {
+    const auto& staged = ports_[pi]->staged;
+    for (size_t i = 0; i < staged.size(); ++i) {
+      merge_scratch_.push_back(
+          MergeRef{staged[i].when, static_cast<uint32_t>(pi), static_cast<uint32_t>(i)});
+    }
+  }
+  std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+            [](const MergeRef& a, const MergeRef& b) {
+              if (a.when != b.when) {
+                return a.when < b.when;
+              }
+              if (a.port != b.port) {
+                return a.port < b.port;
+              }
+              return a.idx < b.idx;
+            });
+  const size_t n = merge_scratch_.size();
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i + 1;
+    while (j < n && merge_scratch_[j].when == merge_scratch_[i].when) {
+      ++j;
+    }
+    if (j == i + 1 || merge_scratch_[i].port == merge_scratch_[j - 1].port) {
+      // Single frame, or several from the same port (FIFO, no arbitration).
+      for (size_t k = i; k < j; ++k) {
+        const MergeRef& r = merge_scratch_[k];
+        DeliverOne(ports_[r.port]->staged[r.idx]);
+      }
+      rr_next_ = (merge_scratch_[i].port + 1) % n_ports;
+    } else {
+      // Multi-port tie: grant ports in rotation order from rr_next_, then
+      // advance the cursor one past the group's FIRST winner. Advancing by
+      // the first (not last) winner is what alternates grant order between
+      // synchronized senders: with the cursor placed just past the last
+      // grant it would sweep over the idle ports and land on the
+      // lowest-numbered sender every group, a priority lock-in that
+      // starves the other sender whenever the egress queue frees exactly
+      // one slot per group.
+      size_t first_winner = n_ports;
+      size_t granted = 0;
+      for (size_t off = 0; off < n_ports && granted < j - i; ++off) {
+        const size_t pi = (rr_next_ + off) % n_ports;
+        for (size_t k = i; k < j; ++k) {
+          if (merge_scratch_[k].port == pi) {
+            DeliverOne(ports_[pi]->staged[merge_scratch_[k].idx]);
+            ++granted;
+            if (first_winner == n_ports) {
+              first_winner = pi;
+            }
+          }
+        }
+      }
+      rr_next_ = (first_winner + 1) % n_ports;
+    }
+    i = j;
+  }
+  for (auto& port : ports_) {
+    port->staged.clear();
+  }
+}
+
+void Switch::DeliverOne(StagedFrame& f) {
+  const Packet& pkt = *f.packet;
+  if (pkt.ip.dst != route_cache_addr_ || route_cache_port_ < 0) {
+    const auto route = routes_.find(pkt.ip.dst);
+    if (route == routes_.end()) {
+      ++stats_.unrouted_drops;
+      return;
+    }
+    route_cache_addr_ = pkt.ip.dst;
+    route_cache_port_ = route->second;
+  }
+  Port& out = *ports_[static_cast<size_t>(route_cache_port_)];
+
+  // Shared backplane: one serialization cursor for the whole fabric.
+  SimTime fabric_done = f.when;
+  if (params_.fabric_gbps > 0.0) {
+    const double bits = static_cast<double>(pkt.FrameBytes() + params_.frame_overhead_bytes) * 8.0;
+    const SimTime ser =
+        static_cast<SimTime>(std::llround(bits / (params_.fabric_gbps * 1e9) *
+                                          static_cast<double>(kSecond)));
+    const SimTime start = std::max(f.when, fabric_free_at_);
+    fabric_done = start + ser;
+    fabric_free_at_ = fabric_done;
+  }
+
+  const SimTime at_egress = fabric_done + params_.switching_latency;
+
+  // Egress port: bounded queue of frames awaiting the egress wire. The ring
+  // holds each queued frame's wire-completion time; entries whose
+  // completion precedes this frame's arrival have left the buffer.
+  while (!out.egress_busy.empty() && out.egress_busy.front() <= at_egress) {
+    out.egress_busy.pop_front();
+  }
+  if (out.egress_busy.size() >= params_.egress_queue_slots) {
+    ++out.stats.egress_drops;
+    return;
+  }
+  if (pkt.FrameBytes() != ser_cache_bytes_) {
+    ser_cache_bytes_ = pkt.FrameBytes();
+    ser_cache_time_ = EgressSerializationTime(ser_cache_bytes_);
+  }
+  const SimTime start = std::max(at_egress, out.egress_free_at);
+  const SimTime done = start + ser_cache_time_;
+  out.egress_free_at = done;
+  out.egress_busy.push_back(done);
+
+  ++stats_.routed_frames;
+  ++out.stats.out_frames;
+  out.stats.out_bytes += pkt.FrameBytes();
+
+  const SimTime arrival = done + out.propagation;
+  Nic* nic = out.nic;
+  out.sim->ScheduleAt(arrival, [nic, p = std::move(f.packet)]() mutable {
+    nic->DeliverFromWire(std::move(p));
+  });
+}
+
+}  // namespace newtos

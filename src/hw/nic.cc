@@ -15,9 +15,15 @@ Nic::Nic(Simulation* sim, std::string name, const Params& params)
 
 void Nic::AttachPeer(Nic* peer, SimTime propagation, double loss_prob, uint64_t loss_seed) {
   peer_ = peer;
+  port_ = nullptr;
   propagation_ = propagation;
   loss_prob_ = loss_prob;
   loss_rng_ = Rng(loss_seed);
+}
+
+void Nic::AttachPort(NicPort* port) {
+  port_ = port;
+  peer_ = nullptr;
 }
 
 SimTime Nic::SerializationTime(uint32_t frame_bytes) const {
@@ -44,7 +50,7 @@ void Nic::StartNextTx() {
     return;
   }
   tx_in_progress_ = true;
-  PacketPtr p = tx_ring_.front();
+  PacketPtr p = std::move(tx_ring_.front());
   tx_ring_.pop_front();
   if (tap_) {
     tap_(TapDirection::kTx, p);
@@ -61,6 +67,11 @@ void Nic::StartNextTx() {
   // each frame but pipelines with the next one's serialization.
   sim_->Schedule(serialize, [this] { StartNextTx(); });
   sim_->Schedule(params_.dma_latency + serialize, [this, p = std::move(p)]() mutable {
+    if (port_ != nullptr) {
+      // Fabric-attached: the frame is off the adapter; the switch owns it now.
+      port_->FrameFromNic(std::move(p), sim_->Now());
+      return;
+    }
     if (peer_ == nullptr) {
       return;
     }

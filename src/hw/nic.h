@@ -36,6 +36,18 @@ struct NicTraceHooks {
   NameId loss = 0;     // instant: frame lost on the wire (link loss model)
 };
 
+// Egress binding for a NIC cabled to a switch-fabric port instead of a
+// point-to-point peer (src/fabric/switch.h). The NIC hands each frame over
+// at the instant it has left the adapter — serialization and TX-side DMA
+// done; everything after that (cable, fabric arbitration, egress queueing)
+// is the port's problem. Implementations must be safe to call from the
+// simulation thread that owns this NIC's lane.
+class NicPort {
+ public:
+  virtual ~NicPort() = default;
+  virtual void FrameFromNic(PacketPtr p, SimTime now) = 0;
+};
+
 class Nic {
  public:
   struct Params {
@@ -74,6 +86,18 @@ class Nic {
   // Call on both NICs (links are full-duplex and may be asymmetric).
   void AttachPeer(Nic* peer, SimTime propagation = 2 * kMicrosecond, double loss_prob = 0.0,
                   uint64_t loss_seed = 1);
+
+  // Binds this NIC to a switch-fabric port instead of a peer; mutually
+  // exclusive with AttachPeer (the last call wins). The fabric owns all
+  // delivery timing past the adapter edge and injects inbound frames with
+  // DeliverFromWire().
+  void AttachPort(NicPort* port);
+
+  // A frame arriving off the wire/fabric at this NIC: the wire-fault hook,
+  // RX-side DMA latency and RX ring bounds all apply, exactly as for frames
+  // from a point-to-point peer. Public for the switch fabric; tests may use
+  // it to inject raw frames.
+  void DeliverFromWire(PacketPtr p);
 
   // --- Host TX side (called by the driver) ---
 
@@ -118,13 +142,13 @@ class Nic {
 
  private:
   void StartNextTx();
-  void DeliverFromWire(PacketPtr p);
 
   Simulation* sim_;
   std::string name_;
   Params params_;
 
   Nic* peer_ = nullptr;
+  NicPort* port_ = nullptr;
   SimTime propagation_ = 0;
   double loss_prob_ = 0.0;
   Rng loss_rng_;

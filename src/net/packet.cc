@@ -13,7 +13,7 @@ std::string Ipv4ToString(Ipv4Addr addr) {
   return buf;
 }
 
-PacketPtr MakePacket() { return PacketPool::Default().Make(); }
+PacketPtr MakePacket() { return PacketPool::Current().Make(); }
 
 std::string Packet::ToString() const {
   char buf[160];

@@ -161,7 +161,7 @@ struct Packet {
 
 using PacketPtr = std::shared_ptr<Packet>;
 
-// Allocates a packet with a fresh id, recycled from PacketPool::Default()
+// Allocates a packet with a fresh id, recycled from PacketPool::Current()
 // (see src/net/packet_pool.h): in steady state this touches no allocator.
 PacketPtr MakePacket();
 

@@ -127,4 +127,20 @@ PacketPool& PacketPool::Default() {
   return *pool;
 }
 
+namespace {
+// Thread-local current-pool binding (see PacketPool::ScopedUse). A plain
+// pointer: reads on the MakePacket() fast path are one TLS load.
+thread_local PacketPool* t_current_pool = nullptr;
+}  // namespace
+
+PacketPool& PacketPool::Current() {
+  return t_current_pool != nullptr ? *t_current_pool : Default();
+}
+
+PacketPool::ScopedUse::ScopedUse(PacketPool* pool) : prev_(t_current_pool) {
+  t_current_pool = pool;
+}
+
+PacketPool::ScopedUse::~ScopedUse() { t_current_pool = prev_; }
+
 }  // namespace newtos

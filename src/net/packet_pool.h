@@ -59,6 +59,27 @@ class PacketPool {
   // The process-wide pool used by MakePacket(). Never destroyed.
   static PacketPool& Default();
 
+  // The pool MakePacket() draws from on the calling thread: the thread's
+  // scoped pool if a ScopedUse is active, Default() otherwise. Simulation
+  // lanes (src/fabric/lane.h) scope each worker thread to its lane's pool so
+  // lanes never contend on one freelist; blocks still return to their owning
+  // pool on release no matter which thread drops the last reference (the
+  // deleter captured the allocating pool).
+  static PacketPool& Current();
+
+  // RAII thread-local pool override. Nestable; restores the previous
+  // binding on destruction. Must not outlive the pool it binds.
+  class ScopedUse {
+   public:
+    explicit ScopedUse(PacketPool* pool);
+    ~ScopedUse();
+    ScopedUse(const ScopedUse&) = delete;
+    ScopedUse& operator=(const ScopedUse&) = delete;
+
+   private:
+    PacketPool* prev_;
+  };
+
  private:
   // Minimal C++17 allocator handing out fixed-size blocks from the pool's
   // freelist. allocate_shared rebinds it to its internal combined type, so

@@ -16,8 +16,8 @@ bool UdpHost::Bind(uint16_t port, ReceiveFn on_receive) {
 
 void UdpHost::Unbind(uint16_t port) { bindings_.erase(port); }
 
-PacketPtr UdpHost::Send(uint16_t src_port, Ipv4Addr dst, uint16_t dst_port,
-                        uint32_t payload_bytes, uint64_t app_tag) {
+void UdpHost::Send(uint16_t src_port, Ipv4Addr dst, uint16_t dst_port,
+                   uint32_t payload_bytes, uint64_t app_tag) {
   PacketPtr p = MakePacket();
   p->ip.proto = IpProto::kUdp;
   p->ip.src = addr_;
@@ -27,8 +27,7 @@ PacketPtr UdpHost::Send(uint16_t src_port, Ipv4Addr dst, uint16_t dst_port,
   p->payload_bytes = payload_bytes;
   p->app_tag = app_tag;
   p->created_at = sim_->Now();
-  output_(p);
-  return p;
+  output_(std::move(p));
 }
 
 void UdpHost::OnPacket(const PacketPtr& p) {

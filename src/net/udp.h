@@ -33,8 +33,11 @@ class UdpHost {
 
   // Emits a datagram. `payload_bytes` may exceed nothing — UDP does not
   // fragment here; callers must respect the MTU (checked in debug builds).
-  PacketPtr Send(uint16_t src_port, Ipv4Addr dst, uint16_t dst_port, uint32_t payload_bytes,
-                 uint64_t app_tag = 0);
+  // The packet moves straight into the output path (no caller handle: the
+  // flood workloads send hundreds of thousands per second and a returned
+  // PacketPtr would cost a refcount round-trip on every one).
+  void Send(uint16_t src_port, Ipv4Addr dst, uint16_t dst_port, uint32_t payload_bytes,
+            uint64_t app_tag = 0);
 
   // Input from the wire/stack; drops datagrams to unbound ports.
   void OnPacket(const PacketPtr& p);

@@ -17,7 +17,7 @@ MultiserverStack::MultiserverStack(Simulation* sim, Machine* machine, const Stac
   }
 
   sim_->ReserveEvents(config_.event_reserve);
-  PacketPool::Default().Reserve(config_.packet_reserve);
+  PacketPool::Current().Reserve(config_.packet_reserve);
 
   driver_ = std::make_unique<DriverServer>(sim_, machine_->nic(), config_.driver, cap, cc);
   ip_ = std::make_unique<IpServer>(sim_, config_.addr, config_.ip, cap, cc);

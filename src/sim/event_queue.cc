@@ -37,6 +37,14 @@ void EventQueue::Compact() {
   std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
+void EventQueue::Clear() {
+  for (const Entry& e : heap_) {
+    pool_->Release(e.slot);  // destroys the callback, clears `cancelled`
+  }
+  heap_.clear();
+  pool_->cancelled_in_heap = 0;
+}
+
 void EventQueue::Reserve(size_t n) {
   heap_.reserve(n);
   pool_->slots.reserve(n);

@@ -149,6 +149,13 @@ class EventQueue {
   // high-water mark stays under `n` never regrows either mid-run.
   void Reserve(size_t n);
 
+  // Destroys every pending event without running it (the queue stays
+  // usable). Teardown-only: callbacks can own pooled resources (e.g. a
+  // staged cross-lane packet), so whoever owns several queues must drain
+  // all of them while every such pool is still alive, not rely on member
+  // destruction order.
+  void Clear();
+
   // Number of entries currently held, including not-yet-discarded cancelled
   // ones. For tests and diagnostics.
   size_t RawSize() const { return heap_.size(); }
@@ -230,6 +237,12 @@ inline EventHandle EventQueue::Push(SimTime when, InlineCallback fn) {
 }
 
 inline void EventQueue::SkipCancelled() {
+  // Steady-state fast path: with no cancellations pending anywhere, skip the
+  // slot lookup entirely — this runs three times per event (Empty/NextTime/
+  // Pop) and the slot array access is a near-guaranteed cache miss.
+  if (pool_->cancelled_in_heap == 0) {
+    return;
+  }
   while (!heap_.empty() && pool_->slots[heap_.front().slot].cancelled) {
     --pool_->cancelled_in_heap;
     pool_->Release(heap_.front().slot);

@@ -17,6 +17,14 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t Rng::HostSeed(uint64_t seed, uint64_t host_id) {
+  // Two SplitMix64 rounds over a seed/host mix: a host_id of 0 still lands
+  // far from the bare seed, and adjacent host ids decorrelate fully.
+  uint64_t x = seed ^ (host_id * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+  uint64_t mixed = SplitMix64(x);
+  return mixed ^ SplitMix64(x);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) {

@@ -49,6 +49,18 @@ class Rng {
   // Derives an independent child generator (for per-component streams).
   Rng Fork();
 
+  // Deterministic per-host stream: the returned generator depends only on
+  // (seed, host_id), never on how many hosts exist or in what order they
+  // were built — adding host 31 to a testbed cannot perturb host 3's
+  // randomness. Multi-host scenarios (src/fabric) must derive every host's
+  // generator this way rather than Fork()ing a shared root, whose streams
+  // shift when the fork order changes.
+  static Rng ForHost(uint64_t seed, uint64_t host_id) { return Rng(HostSeed(seed, host_id)); }
+
+  // The mixed seed ForHost feeds to Rng's SplitMix64 expansion. Exposed for
+  // components that take a plain seed parameter (UdpPeerFlood, link loss).
+  static uint64_t HostSeed(uint64_t seed, uint64_t host_id);
+
  private:
   uint64_t s_[4];
 };

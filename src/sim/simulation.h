@@ -69,6 +69,17 @@ class Simulation {
   // tracing subsystem's event-queue-depth sampler.
   size_t PendingEvents() const { return queue_.LiveSize(); }
 
+  // Destroys every pending event without running it. Teardown-only: see
+  // EventQueue::Clear() for why multi-lane owners must drain all lanes
+  // before destroying any of them.
+  void DiscardPendingEvents() { queue_.Clear(); }
+
+  // Simulation-lane identity (src/fabric/lane.h). 0 for standalone
+  // simulations; set once by LaneEngine at construction. Diagnostic only:
+  // checker reports and traces use it to say *which* lane misbehaved.
+  int lane() const { return lane_; }
+  void set_lane(int lane) { lane_ = lane; }
+
  private:
   // Pops and runs one event; advances the clock. Precondition: queue not empty.
   void Step();
@@ -77,6 +88,7 @@ class Simulation {
   SimTime now_ = 0;
   bool stop_requested_ = false;
   uint64_t events_processed_ = 0;
+  int lane_ = 0;
 };
 
 }  // namespace newtos

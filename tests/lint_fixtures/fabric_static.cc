@@ -1,0 +1,18 @@
+// Lint fixture: one function-scope mutable static — cross-lane shared state
+// in fabric code. Look-alikes that must not fire: static_cast, static const,
+// static constexpr, and a static member function declaration.
+#include <cstdint>
+
+struct Counter {
+  static constexpr uint64_t kScale = 1000;  // immutable: must not fire
+  static uint64_t Next();                   // member function: must not fire
+};
+
+uint64_t Tick(uint64_t x) {
+  static const uint64_t kBase = 7;  // immutable: must not fire
+  static uint64_t calls = 0;        // the violation: shared across lanes
+  calls += static_cast<uint64_t>(x);
+  return kBase + calls;
+}
+
+uint64_t Counter::Next() { return Tick(kScale); }

@@ -39,7 +39,8 @@ Config AllRulesConfig() {
       "[rule.nondet-source]\npaths = [\"fixtures/\"]\n"
       "[rule.ptr-key-order]\npaths = [\"fixtures/\"]\n"
       "[rule.server-handle]\npaths = [\"fixtures/\"]\n"
-      "[rule.ring-pow2]\npaths = [\"fixtures/\"]\n";
+      "[rule.ring-pow2]\npaths = [\"fixtures/\"]\n"
+      "[rule.fabric-shared-state]\npaths = [\"fixtures/\"]\n";
   Config config;
   std::string error;
   EXPECT_TRUE(ParseConfig(kToml, &config, &error)) << error;
@@ -84,7 +85,8 @@ INSTANTIATE_TEST_SUITE_P(
                       RuleCase{"nondet_source.cc", "nondet-source"},
                       RuleCase{"ptr_key_order.cc", "ptr-key-order"},
                       RuleCase{"server_handle.h", "server-handle"},
-                      RuleCase{"ring_pow2.cc", "ring-pow2"}),
+                      RuleCase{"ring_pow2.cc", "ring-pow2"},
+                      RuleCase{"fabric_static.cc", "fabric-shared-state"}),
     [](const ::testing::TestParamInfo<RuleCase>& param) {
       std::string name = param.param.rule;
       for (char& ch : name) {

@@ -5,8 +5,10 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/metrics/histogram.h"
 #include "src/metrics/stats.h"
 #include "src/metrics/table.h"
+#include "src/sim/time.h"
 
 namespace newtos {
 namespace {
@@ -55,6 +57,64 @@ TEST(StreamingStats, MergeWithEmpty) {
   empty.Merge(a);
   EXPECT_EQ(empty.count(), 1u);
   EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+// Per-lane aggregation: each simulation lane accumulates its own histogram
+// and counters; after a run they reduce into one view. Reducing in host-id
+// order must give the same result as any other grouping — required for the
+// lane-count-invariance the fabric subsystem promises (src/fabric/lane.h).
+TEST(LaneAggregation, HistogramMergeIsGroupingInvariant) {
+  // Four "lanes" recording disjoint host streams.
+  LatencyHistogram lanes[4];
+  for (int lane = 0; lane < 4; ++lane) {
+    for (int i = 0; i < 250; ++i) {
+      lanes[lane].Record((lane * 250 + i + 1) * kMicrosecond);
+    }
+  }
+
+  LatencyHistogram in_order;  // hosts 0..3 (the canonical reduction)
+  for (int lane = 0; lane < 4; ++lane) {
+    in_order.Merge(lanes[lane]);
+  }
+  LatencyHistogram reversed;
+  for (int lane = 3; lane >= 0; --lane) {
+    reversed.Merge(lanes[lane]);
+  }
+  LatencyHistogram pairwise;  // ((0+2) + (1+3)): a different lane layout
+  LatencyHistogram even, odd;
+  even.Merge(lanes[0]);
+  even.Merge(lanes[2]);
+  odd.Merge(lanes[1]);
+  odd.Merge(lanes[3]);
+  pairwise.Merge(even);
+  pairwise.Merge(odd);
+
+  for (const LatencyHistogram* h : {&reversed, &pairwise}) {
+    EXPECT_EQ(h->count(), in_order.count());
+    EXPECT_EQ(h->min(), in_order.min());
+    EXPECT_EQ(h->max(), in_order.max());
+    EXPECT_DOUBLE_EQ(h->MeanNs(), in_order.MeanNs());
+    EXPECT_EQ(h->P50(), in_order.P50());
+    EXPECT_EQ(h->P99(), in_order.P99());
+  }
+  EXPECT_EQ(in_order.count(), 1000u);
+}
+
+TEST(LaneAggregation, CounterReductionMatchesSingleLaneTotals) {
+  // Counters kept per lane (one RateMeter each) reduce to the same totals
+  // a single-lane run would have accumulated directly.
+  RateMeter lane_meters[4];
+  RateMeter single(0);
+  for (int i = 0; i < 1000; ++i) {
+    lane_meters[i % 4].Add(1, 100);
+    single.Add(1, 100);
+  }
+  RateMeter total(0);
+  for (const RateMeter& m : lane_meters) {  // host-id order
+    total.Add(m.events(), m.bytes());
+  }
+  EXPECT_EQ(total.events(), single.events());
+  EXPECT_EQ(total.bytes(), single.bytes());
 }
 
 TEST(RateMeter, RatesAgainstWindow) {

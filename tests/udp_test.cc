@@ -65,7 +65,12 @@ TEST_F(UdpTest, UnbindStopsDelivery) {
 }
 
 TEST_F(UdpTest, HeaderFieldsFilledCorrectly) {
-  PacketPtr sent = a_->Send(4242, b_->addr(), 53, 99, /*app_tag=*/77);
+  // Observed at the receiver: the fields must also survive the wire.
+  PacketPtr sent;
+  b_->Bind(53, [&](const PacketPtr& p) { sent = p; });
+  a_->Send(4242, b_->addr(), 53, 99, /*app_tag=*/77);
+  sim_.Run();
+  ASSERT_TRUE(sent);
   EXPECT_EQ(sent->ip.proto, IpProto::kUdp);
   EXPECT_EQ(sent->ip.src, a_->addr());
   EXPECT_EQ(sent->ip.dst, b_->addr());

@@ -272,6 +272,7 @@ class Linter {
     if (On("ptr-key-order")) CheckPtrKeyOrder();
     if (On("server-handle")) CheckServerHandle();
     if (On("ring-pow2")) CheckRingPow2();
+    if (On("fabric-shared-state")) CheckFabricSharedState();
   }
 
  private:
@@ -589,6 +590,45 @@ class Linter {
           }
         }
         pos = i;
+      }
+    }
+  }
+
+  // --- fabric-shared-state: mutable `static` or `thread_local` data in the
+  // fabric layer. Lanes run concurrently between barriers, and the lane-count
+  // invariance argument (DESIGN.md §8) requires every piece of mutable state
+  // to be owned by exactly one lane or touched only flush-side (Switch
+  // members, single-threaded at barriers). A mutable static is shared across
+  // lanes with no guard; thread_local silently varies with the partition.
+  void CheckFabricSharedState() {
+    for (size_t l = 0; l < file_.code.size(); ++l) {
+      const std::string& line = file_.code[l];
+      if (FindWord(line, "thread_local") != std::string::npos) {
+        Report("fabric-shared-state", static_cast<int>(l + 1),
+               "thread_local in fabric code varies with the lane partition; bind "
+               "per-lane state through Lane / PacketPool::ScopedUse instead");
+      }
+      size_t pos = 0;
+      while ((pos = FindWord(line, "static", pos)) != std::string::npos) {
+        size_t i = SkipSpaces(line, pos + 6);
+        size_t j = i;
+        std::string tok = ReadIdent(line, &j);
+        while (tok == "inline") {
+          i = SkipSpaces(line, j);
+          j = i;
+          tok = ReadIdent(line, &j);
+        }
+        if (tok != "const" && tok != "constexpr") {
+          // Variable vs function: the first structural character after the
+          // declarator decides — an initializer or terminator means data.
+          const size_t stop = line.find_first_of("(;={", i);
+          if (stop == std::string::npos || line[stop] != '(') {
+            Report("fabric-shared-state", static_cast<int>(l + 1),
+                   "mutable static is cross-lane shared state with no guard; own it "
+                   "in a Lane or keep it flush-side in the Switch");
+          }
+        }
+        pos = j > pos + 6 ? j : pos + 6;
       }
     }
   }

@@ -30,6 +30,9 @@
 //   server-handle    a Server subclass that never overrides Handle()
 //   ring-pow2        a ring constructed with a non-power-of-two literal
 //                    capacity (the ring rounds up silently; say what you mean)
+//   fabric-shared-state  mutable `static` / `thread_local` data in fabric
+//                    code (lanes run concurrently between barriers; shared
+//                    mutable state must be lane-owned or flush-side)
 
 #ifndef TOOLS_LINT_LINT_H_
 #define TOOLS_LINT_LINT_H_
