@@ -1,0 +1,231 @@
+// Timer microbenchmark: hierarchical wheel vs. event-queue heap.
+//
+// The wheel exists for one reason — per-flow timers as heap entries cost
+// O(log n) sifts per arm/cancel and keep one queue slot per pending timer,
+// which at 10^6 live timers is both slow and fat. This bench isolates the
+// timer substrate from TCP entirely and measures, at 10^3, 10^5 and 10^6
+// live timers:
+//
+//   - arm+cancel throughput (the dominant pattern: a TCP RTO is armed per
+//     send and cancelled by the ACK — the timer almost never fires),
+//   - re-arm (move) throughput on already-armed nodes,
+//   - fire throughput (drain the whole population through expiry),
+//   - pending simulator events while N timers are live: the wheel holds ONE
+//     wake event regardless of N; the heap holds N.
+//
+// Both substrates run the same deterministic workload (same Rng seed, same
+// delay distribution) inside the same Simulation, so the comparison is
+// apples to apples. Results land in the "micro" section of
+// BENCH_timers.json; the "million"/"knee" sections written by
+// tab5_conn_churn --million are preserved.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/metrics/report.h"
+#include "src/sim/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/timer_wheel.h"
+
+namespace newtos {
+namespace {
+
+#ifndef NEWTOS_REPO_ROOT
+#define NEWTOS_REPO_ROOT "."
+#endif
+
+uint64_t g_fired = 0;
+void CountFire(void*) { ++g_fired; }
+
+// Delays spread across wheel levels the way TCP timers are: mostly short
+// (delayed ACK ~500 us, RTO ~10-200 ms), occasionally long (TIME_WAIT,
+// keepalive). Uniform in [1 us, 256 ms] covers levels 0-4.
+SimTime NextDelay(Rng& rng) {
+  return rng.UniformInt(kMicrosecond, 256 * kMillisecond);
+}
+
+struct SubstrateResult {
+  double arm_cancel_per_sec = 0.0;
+  double rearm_per_sec = 0.0;
+  double fire_per_sec = 0.0;
+  size_t pending_events_at_n = 0;  // simulator queue entries with N timers live
+};
+
+double Rate(uint64_t ops, std::chrono::steady_clock::time_point t0,
+            std::chrono::steady_clock::time_point t1) {
+  const double s = std::chrono::duration<double>(t1 - t0).count();
+  return s > 0 ? static_cast<double>(ops) / s : 0.0;
+}
+
+SubstrateResult RunWheel(size_t n, int churn_rounds) {
+  Simulation sim;
+  TimerWheel wheel(&sim);
+  wheel.Reserve(1024);
+  // TimerNode is intrusive (non-copyable, address-stable), so a flat array —
+  // exactly how sockets embed them — not a vector.
+  std::unique_ptr<TimerNode[]> nodes(new TimerNode[n]);
+  for (size_t i = 0; i < n; ++i) {
+    nodes[i].fn = &CountFire;
+  }
+  Rng rng(0x7e3);
+
+  SubstrateResult r;
+
+  // Arm+cancel churn over a live population: arm all N, then repeatedly
+  // cancel and re-arm each node with a fresh delay.
+  for (size_t i = 0; i < n; ++i) {
+    wheel.Arm(&nodes[i], sim.Now() + NextDelay(rng));
+  }
+  r.pending_events_at_n = sim.PendingEvents();
+  const auto ac0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < churn_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      wheel.Cancel(&nodes[i]);
+      wheel.Arm(&nodes[i], sim.Now() + NextDelay(rng));
+    }
+  }
+  const auto ac1 = std::chrono::steady_clock::now();
+  r.arm_cancel_per_sec = Rate(static_cast<uint64_t>(n) * churn_rounds, ac0, ac1);
+
+  // Re-arm (Arm on an armed node moves it — the common RTO restart).
+  const auto re0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < churn_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      wheel.Arm(&nodes[i], sim.Now() + NextDelay(rng));
+    }
+  }
+  const auto re1 = std::chrono::steady_clock::now();
+  r.rearm_per_sec = Rate(static_cast<uint64_t>(n) * churn_rounds, re0, re1);
+
+  // Fire: drain the entire population through expiry.
+  g_fired = 0;
+  const auto f0 = std::chrono::steady_clock::now();
+  while (wheel.armed() > 0) {
+    sim.RunFor(64 * kMillisecond);
+  }
+  const auto f1 = std::chrono::steady_clock::now();
+  r.fire_per_sec = Rate(g_fired, f0, f1);
+  return r;
+}
+
+SubstrateResult RunHeap(size_t n, int churn_rounds) {
+  Simulation sim;
+  std::vector<EventHandle> handles(n);
+  Rng rng(0x7e3);
+
+  SubstrateResult r;
+
+  for (size_t i = 0; i < n; ++i) {
+    handles[i] = sim.Schedule(NextDelay(rng), [] { ++g_fired; });
+  }
+  r.pending_events_at_n = sim.PendingEvents();
+  const auto ac0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < churn_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      handles[i].Cancel();
+      handles[i] = sim.Schedule(NextDelay(rng), [] { ++g_fired; });
+    }
+  }
+  const auto ac1 = std::chrono::steady_clock::now();
+  r.arm_cancel_per_sec = Rate(static_cast<uint64_t>(n) * churn_rounds, ac0, ac1);
+
+  // The heap has no move operation — a re-arm IS cancel + schedule.
+  const auto re0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < churn_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      handles[i].Cancel();
+      handles[i] = sim.Schedule(NextDelay(rng), [] { ++g_fired; });
+    }
+  }
+  const auto re1 = std::chrono::steady_clock::now();
+  r.rearm_per_sec = Rate(static_cast<uint64_t>(n) * churn_rounds, re0, re1);
+
+  g_fired = 0;
+  const auto f0 = std::chrono::steady_clock::now();
+  while (g_fired < n) {
+    sim.RunFor(64 * kMillisecond);
+  }
+  const auto f1 = std::chrono::steady_clock::now();
+  r.fire_per_sec = Rate(g_fired, f0, f1);
+  return r;
+}
+
+std::string SizeJson(size_t n, const SubstrateResult& wheel, const SubstrateResult& heap) {
+  JsonWriter w;
+  w.Uint("live_timers", n)
+      .Num("wheel_arm_cancel_per_sec", wheel.arm_cancel_per_sec, 0)
+      .Num("wheel_rearm_per_sec", wheel.rearm_per_sec, 0)
+      .Num("wheel_fire_per_sec", wheel.fire_per_sec, 0)
+      .Uint("wheel_pending_events", wheel.pending_events_at_n)
+      .Num("heap_arm_cancel_per_sec", heap.arm_cancel_per_sec, 0)
+      .Num("heap_rearm_per_sec", heap.rearm_per_sec, 0)
+      .Num("heap_fire_per_sec", heap.fire_per_sec, 0)
+      .Uint("heap_pending_events", heap.pending_events_at_n)
+      .Num("arm_cancel_speedup",
+           heap.arm_cancel_per_sec > 0 ? wheel.arm_cancel_per_sec / heap.arm_cancel_per_sec
+                                       : 0.0,
+           2);
+  return w.Finish();
+}
+
+int Run(const std::string& out_path) {
+  std::string micro = "[";
+  for (size_t n : {size_t{1'000}, size_t{100'000}, size_t{1'000'000}}) {
+    // Smaller populations get more churn rounds so every row measures a
+    // comparable op count.
+    const int rounds = n >= 1'000'000 ? 4 : n >= 100'000 ? 16 : 64;
+    const SubstrateResult wheel = RunWheel(n, rounds);
+    const SubstrateResult heap = RunHeap(n, rounds);
+    std::printf("n=%zu: arm+cancel wheel %.1fM/s heap %.1fM/s  (x%.1f)  "
+                "fire wheel %.1fM/s heap %.1fM/s  pending %zu vs %zu\n",
+                n, wheel.arm_cancel_per_sec / 1e6, heap.arm_cancel_per_sec / 1e6,
+                heap.arm_cancel_per_sec > 0
+                    ? wheel.arm_cancel_per_sec / heap.arm_cancel_per_sec
+                    : 0.0,
+                wheel.fire_per_sec / 1e6, heap.fire_per_sec / 1e6,
+                wheel.pending_events_at_n, heap.pending_events_at_n);
+    if (micro.size() > 1) {
+      micro += ", ";
+    }
+    micro += SizeJson(n, wheel, heap);
+  }
+  micro += "]";
+
+  JsonWriter top;
+  const std::string million = ReadJsonSection(out_path, "million");
+  const std::string knee = ReadJsonSection(out_path, "knee");
+  if (!million.empty()) {
+    top.Raw("million", million);
+  }
+  if (!knee.empty()) {
+    top.Raw("knee", knee);
+  }
+  top.Raw("micro", micro);
+  if (!WriteFileChecked(out_path, top.Finish())) {
+    std::fprintf(stderr, "timer_micro: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace newtos
+
+int main(int argc, char** argv) {
+  std::string out = std::string(NEWTOS_REPO_ROOT) + "/BENCH_timers.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  return newtos::Run(out);
+}

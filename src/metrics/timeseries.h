@@ -7,6 +7,7 @@
 #ifndef SRC_METRICS_TIMESERIES_H_
 #define SRC_METRICS_TIMESERIES_H_
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -48,6 +49,12 @@ class TimeSeries {
 
   const std::vector<Point>& points() const { return points_; }
   SimTime interval() const { return interval_; }
+
+  // Pre-sizes the point log for `n` samples so steady-state ticks never
+  // allocate — required inside allocation-counted measurement windows (the
+  // churn bench samples under a zero-allocs/event gate). One sample lands
+  // every `interval`, so pass ceil(window / interval) + slack.
+  void Reserve(size_t n) { points_.reserve(n); }
 
   // Max value over all points (0 when empty) — handy for report scaling.
   double Max() const {

@@ -40,22 +40,31 @@ const char* TcpStateName(TcpState s) {
   return "?";
 }
 
-TcpConnection::TcpConnection(Simulation* sim, const FlowKey& key, const TcpParams& params,
-                             Callbacks callbacks)
-    : sim_(sim), key_(key), params_(params), cb_(std::move(callbacks)) {
+TcpConnection::TcpConnection(Simulation* sim, TimerWheel* wheel, const FlowKey& key,
+                             const TcpParams& params, Callbacks callbacks)
+    : sim_(sim),
+      key_(key),
+      params_(params),
+      cb_(std::move(callbacks)),
+      est_(params_.rto_initial, params_.rto_min, params_.rto_max),
+      wheel_(wheel),
+      rto_node_(&TcpConnection::RtoFired, this),
+      delack_node_(&TcpConnection::DelackFired, this),
+      persist_node_(&TcpConnection::PersistFired, this),
+      time_wait_node_(&TcpConnection::TimeWaitFired, this) {
   assert(cb_.output && "TcpConnection requires an output function");
+  assert(wheel_ != nullptr && "TcpConnection timers live on a TimerWheel");
   iss_ = static_cast<uint32_t>(FlowKeyHash{}(key_));
   snd_una_ = snd_nxt_ = iss_;
-  rto_ = params_.rto_initial;
   cwnd_ = params_.init_cwnd_segments * params_.mss;
   last_advertised_wnd_ = params_.rcv_wnd;
 }
 
 TcpConnection::~TcpConnection() {
-  rto_timer_.Cancel();
-  delack_timer_.Cancel();
-  persist_timer_.Cancel();
-  time_wait_timer_.Cancel();
+  wheel_->Cancel(&rto_node_);
+  wheel_->Cancel(&delack_node_);
+  wheel_->Cancel(&persist_node_);
+  wheel_->Cancel(&time_wait_node_);
 }
 
 void TcpConnection::Connect() {
@@ -210,7 +219,7 @@ bool TcpConnection::RetransmitNextHole() {
   }
   const auto [rel_start, rel_end] = *hole;
   retran_high_ = rel_end;
-  retransmitted_since_sample_ = true;
+  est_.OnRetransmit();
   ++stats_.retransmits;
   ++stats_.sack_retransmits;
   Emit(MakeSegment(kTcpAck, iss_ + rel_start, rel_end - rel_start));
@@ -227,12 +236,12 @@ void TcpConnection::SendControl(uint8_t flags, uint32_t seq) { Emit(MakeSegment(
 
 void TcpConnection::SendAck(bool forced) {
   if (!forced && params_.delayed_ack && segs_since_ack_ < 2 && ooo_.empty()) {
-    if (!delack_timer_.pending()) {
-      delack_timer_ = sim_->Schedule(params_.delayed_ack_timeout, [this] { SendAck(true); });
+    if (!delack_node_.armed()) {
+      wheel_->Arm(&delack_node_, sim_->Now() + params_.delayed_ack_timeout);
     }
     return;
   }
-  delack_timer_.Cancel();
+  wheel_->Cancel(&delack_node_);
   segs_since_ack_ = 0;
   SendControl(kTcpAck, snd_nxt_);
 }
@@ -263,24 +272,21 @@ void TcpConnection::TrySend() {
       flags |= kTcpPsh;
     }
     PacketPtr seg = MakeSegment(flags, snd_nxt_, len);
-    if (!rtt_sample_pending_) {
-      rtt_sample_pending_ = true;
-      rtt_seq_ = snd_nxt_ + len;
-      rtt_sent_at_ = sim_->Now();
-      retransmitted_since_sample_ = false;
+    if (!est_.sample_pending()) {
+      est_.StartSample(snd_nxt_ + len, sim_->Now());
     }
     snd_nxt_ += len;
     send_queue_bytes_ -= len;
     stats_.bytes_sent += len;
     segs_since_ack_ = 0;  // data segments carry the ACK
-    delack_timer_.Cancel();
+    wheel_->Cancel(&delack_node_);
     Emit(std::move(seg));
     sent = true;
   }
   if (sent || send_queue_bytes_ == 0) {
     MaybeFin();
   }
-  if (flight_size() > 0 && !rto_timer_.pending()) {
+  if (flight_size() > 0 && !rto_node_.armed()) {
     ArmRto();
   }
 }
@@ -303,7 +309,8 @@ void TcpConnection::MaybeFin() {
 void TcpConnection::EnterEstablished() {
   state_ = TcpState::kEstablished;
   cwnd_ = params_.init_cwnd_segments * params_.mss;
-  rto_backoff_ = 0;
+  est_.ResetBackoff();
+  tlp_fired_ = false;
   NEWTOS_LOG(kDebug, sim_->Now(), "tcp", "established " << Ipv4ToString(key_.src_ip) << ":"
                                                         << key_.src_port);
   if (cb_.on_established) {
@@ -410,16 +417,15 @@ void TcpConnection::ProcessAck(const Packet& p) {
     const uint32_t payload_acked = delta - control;
     stats_.bytes_acked += payload_acked;
 
-    // RTT sample (Karn's rule: only if nothing in the window was retransmitted).
-    if (rtt_sample_pending_ && SeqLeq(rtt_seq_, ack)) {
-      if (!retransmitted_since_sample_) {
-        UpdateRttEstimate(sim_->Now() - rtt_sent_at_);
-      }
-      rtt_sample_pending_ = false;
-    }
+    // RTT sample (Karn's rule inside: a tainted sample is discarded). Per
+    // RFC 6298 §5.7 the RTO backoff resets only when a *fresh* sample is
+    // taken — i.e. a newly transmitted segment was acked — not on any
+    // cumulative advance. An ACK for a retransmission is ambiguous (it may
+    // be the original, long-delayed) and must keep the backed-off RTO.
+    est_.OnAck(ack, sim_->Now());
 
     snd_una_ = ack;
-    rto_backoff_ = 0;
+    tlp_fired_ = false;  // new episode: the tail moved forward
     snd_wnd_ = p.tcp.window;
 
     // The scoreboard never needs ranges at or below the cumulative ACK.
@@ -455,7 +461,7 @@ void TcpConnection::ProcessAck(const Packet& p) {
           const uint32_t len = std::min(params_.mss, data_end - snd_una_);
           PacketPtr seg = MakeSegment(kTcpAck, snd_una_, len);
           ++stats_.retransmits;
-          retransmitted_since_sample_ = true;
+          est_.OnRetransmit();
           Emit(std::move(seg));
         }
         cwnd_ = cwnd_ > payload_acked ? cwnd_ - payload_acked + params_.mss : params_.mss;
@@ -516,7 +522,7 @@ void TcpConnection::ProcessAck(const Packet& p) {
         PacketPtr seg = MakeSegment(kTcpAck, snd_una_, len);
         ++stats_.retransmits;
         ++stats_.fast_retransmits;
-        retransmitted_since_sample_ = true;
+        est_.OnRetransmit();
         Emit(std::move(seg));
       } else if (fin_sent_) {
         SendControl(kTcpFin | kTcpAck, fin_seq_);
@@ -536,7 +542,7 @@ void TcpConnection::ProcessAck(const Packet& p) {
       TrySend();
     }
   } else if (window_update) {
-    persist_timer_.Cancel();
+    wheel_->Cancel(&persist_node_);
     TrySend();
   }
 }
@@ -622,33 +628,64 @@ void TcpConnection::DeliverInOrder(const Packet& p) {
   }
 }
 
-void TcpConnection::UpdateRttEstimate(SimTime measured) {
-  if (srtt_ == 0) {
-    srtt_ = measured;
-    rttvar_ = measured / 2;
-  } else {
-    const SimTime err = measured > srtt_ ? measured - srtt_ : srtt_ - measured;
-    rttvar_ = (3 * rttvar_ + err) / 4;
-    srtt_ = (7 * srtt_ + measured) / 8;
-  }
-  rto_ = std::clamp(srtt_ + 4 * rttvar_, params_.rto_min, params_.rto_max);
-}
-
 void TcpConnection::ArmRto() {
-  rto_timer_.Cancel();
-  SimTime effective = rto_;
-  for (int i = 0; i < rto_backoff_ && effective < params_.rto_max; ++i) {
-    effective *= 2;
+  // TLP (when enabled): with no backoff in effect and an RTT estimate on
+  // hand, the first firing of rto_node_ this episode is a probe at
+  // PTO = max(2*srtt, 2ms), never later than the RTO it stands in for.
+  if (params_.tail_loss_probe && !tlp_fired_ && est_.backoff() == 0 && est_.srtt() > 0) {
+    const SimTime pto =
+        std::min(std::max(2 * est_.srtt(), 2 * kMillisecond), est_.BackoffedRto());
+    tlp_pending_ = true;
+    wheel_->Arm(&rto_node_, sim_->Now() + pto);
+    return;
   }
-  effective = std::min(effective, params_.rto_max);
-  rto_timer_ = sim_->Schedule(effective, [this] { OnRtoTimeout(); });
+  tlp_pending_ = false;
+  wheel_->Arm(&rto_node_, sim_->Now() + est_.BackoffedRto());
 }
 
-void TcpConnection::DisarmRto() { rto_timer_.Cancel(); }
+void TcpConnection::DisarmRto() {
+  tlp_pending_ = false;
+  wheel_->Cancel(&rto_node_);
+}
+
+void TcpConnection::OnRetransmissionTimer() {
+  if (tlp_pending_) {
+    tlp_pending_ = false;
+    OnTlpTimeout();
+    return;
+  }
+  OnRtoTimeout();
+}
+
+void TcpConnection::OnTlpTimeout() {
+  tlp_fired_ = true;
+  if (state_ == TcpState::kClosed || state_ == TcpState::kListen ||
+      state_ == TcpState::kTimeWait || flight_size() == 0) {
+    return;
+  }
+  // Probe: retransmit the tail (highest unacked data, or the FIN). If the
+  // tail was lost, the probe repairs it an RTO early; if only its ACK was
+  // lost, the probe is a no-op duplicate. No cwnd collapse, no backoff —
+  // this is not a timeout, and the sample window is merely tainted.
+  ++stats_.tlp_probes;
+  const uint32_t data_end = fin_sent_ ? fin_seq_ : snd_nxt_;
+  if (SeqLt(snd_una_, data_end)) {
+    const uint32_t len = std::min(params_.mss, data_end - snd_una_);
+    PacketPtr seg = MakeSegment(kTcpAck, data_end - len, len);
+    ++stats_.retransmits;
+    est_.OnRetransmit();
+    Emit(std::move(seg));
+  } else if (fin_sent_) {
+    SendControl(kTcpFin | kTcpAck, fin_seq_);
+    ++stats_.retransmits;
+  }
+  ArmRto();  // tlp_fired_ is set: this arms the real backed-off RTO
+}
 
 void TcpConnection::OnRtoTimeout() {
   ++stats_.timeouts;
-  if (++rto_backoff_ > kMaxRtoBackoff) {
+  est_.OnTimeout();
+  if (est_.backoff() > kMaxRtoBackoff) {
     NEWTOS_LOG(kWarn, sim_->Now(), "tcp", "giving up after " << kMaxRtoBackoff << " RTOs");
     ToClosed();
     return;
@@ -686,7 +723,7 @@ void TcpConnection::OnRtoTimeout() {
   dupacks_ = 0;
   sacked_.clear();
   retran_high_ = snd_una_ - iss_;
-  retransmitted_since_sample_ = true;
+  est_.OnRetransmit();
 
   const uint32_t data_end = fin_sent_ ? fin_seq_ : snd_nxt_;
   if (SeqLt(snd_una_, data_end)) {
@@ -702,10 +739,10 @@ void TcpConnection::OnRtoTimeout() {
 }
 
 void TcpConnection::ArmPersist() {
-  if (persist_timer_.pending()) {
+  if (persist_node_.armed()) {
     return;
   }
-  persist_timer_ = sim_->Schedule(rto_, [this] { OnPersistTimeout(); });
+  wheel_->Arm(&persist_node_, sim_->Now() + est_.rto());
 }
 
 void TcpConnection::OnPersistTimeout() {
@@ -717,9 +754,7 @@ void TcpConnection::OnPersistTimeout() {
   // snd_nxt_ is NOT advanced — the byte is a probe, not a transmission.
   PacketPtr probe = MakeSegment(kTcpAck, snd_nxt_, 1);
   Emit(std::move(probe));
-  persist_timer_ = sim_->Schedule(std::min(2 * rto_, params_.rto_max), [this] {
-    OnPersistTimeout();
-  });
+  wheel_->Arm(&persist_node_, sim_->Now() + std::min(2 * est_.rto(), params_.rto_max));
 }
 
 void TcpConnection::SetAutoConsume(bool on) {
@@ -739,8 +774,8 @@ uint64_t TcpConnection::Read(uint64_t max_bytes) {
 void TcpConnection::EnterTimeWait() {
   state_ = TcpState::kTimeWait;
   DisarmRto();
-  persist_timer_.Cancel();
-  time_wait_timer_ = sim_->Schedule(params_.time_wait, [this] { ToClosed(); });
+  wheel_->Cancel(&persist_node_);
+  wheel_->Arm(&time_wait_node_, sim_->Now() + params_.time_wait);
 }
 
 void TcpConnection::ToClosed() {
@@ -748,10 +783,10 @@ void TcpConnection::ToClosed() {
     return;
   }
   state_ = TcpState::kClosed;
-  rto_timer_.Cancel();
-  delack_timer_.Cancel();
-  persist_timer_.Cancel();
-  time_wait_timer_.Cancel();
+  DisarmRto();
+  wheel_->Cancel(&delack_node_);
+  wheel_->Cancel(&persist_node_);
+  wheel_->Cancel(&time_wait_node_);
   if (cb_.on_closed) {
     cb_.on_closed();
   }

@@ -24,9 +24,10 @@
 #include <utility>
 
 #include "src/net/packet.h"
-#include "src/sim/event_queue.h"
+#include "src/net/rtt_estimator.h"
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
+#include "src/sim/timer_wheel.h"
 
 namespace newtos {
 
@@ -58,6 +59,12 @@ struct TcpParams {
   SimTime delayed_ack_timeout = 500 * kMicrosecond;
   uint32_t dupack_threshold = 3;
   SimTime time_wait = 10 * kMillisecond;  // shortened 2MSL for simulation
+  // Tail loss probe (RFC 8985-style, simplified): when the whole window is a
+  // short tail that loss would otherwise strand until RTO, fire one probe —
+  // a retransmit of the highest unacked segment — after PTO = max(2*srtt, a
+  // 2ms floor), then fall back to the normal backed-off RTO. Off by default:
+  // the paper's figures were pinned without it.
+  bool tail_loss_probe = false;
 };
 
 struct TcpStats {
@@ -72,6 +79,7 @@ struct TcpStats {
   uint64_t dupacks_rcvd = 0;
   uint64_t ooo_segments = 0;     // out-of-order arrivals buffered
   uint64_t sack_retransmits = 0;  // hole-directed retransmissions (SACK only)
+  uint64_t tlp_probes = 0;        // tail loss probes fired (before any RTO)
   // Integrity tripwire: segments carrying corruption flags that reached the
   // state machine anyway. Checksum verification below TCP (NIC offload +
   // per-server RX check) must keep this at zero; the fault-campaign
@@ -94,8 +102,11 @@ class TcpConnection {
   };
 
   // `key.src_*` is the local end. The initial send sequence number is derived
-  // deterministically from the key (reproducible runs).
-  TcpConnection(Simulation* sim, const FlowKey& key, const TcpParams& params, Callbacks callbacks);
+  // deterministically from the key (reproducible runs). All four connection
+  // timers live as intrusive nodes on `wheel` (one wake event per wheel, not
+  // per flow); the wheel must outlive the connection.
+  TcpConnection(Simulation* sim, TimerWheel* wheel, const FlowKey& key, const TcpParams& params,
+                Callbacks callbacks);
   ~TcpConnection();
 
   TcpConnection(const TcpConnection&) = delete;
@@ -135,8 +146,9 @@ class TcpConnection {
   const FlowKey& key() const { return key_; }
   uint32_t cwnd() const { return cwnd_; }
   uint32_t ssthresh() const { return ssthresh_; }
-  SimTime srtt() const { return srtt_; }
-  SimTime rto() const { return rto_; }
+  SimTime srtt() const { return est_.srtt(); }
+  SimTime rto() const { return est_.rto(); }
+  int rto_backoff() const { return est_.backoff(); }
   uint32_t flight_size() const { return snd_nxt_ - snd_una_; }
   uint64_t send_backlog() const { return send_queue_bytes_; }
   uint32_t peer_window() const { return snd_wnd_; }
@@ -170,15 +182,22 @@ class TcpConnection {
   void EnterEstablished();
   void DeliverInOrder(const Packet& p);
   void ProcessAck(const Packet& p);
+  void OnRetransmissionTimer();  // rto_node_ fired: dispatch TLP probe or RTO
   void OnRtoTimeout();
+  void OnTlpTimeout();
   void ArmRto();
   void DisarmRto();
   void ArmPersist();
   void OnPersistTimeout();
-  void UpdateRttEstimate(SimTime measured);
   void EnterTimeWait();
   void ToClosed();
   void MaybeFin();
+
+  // Timer-wheel trampolines (nodes carry a plain function pointer + arg).
+  static void RtoFired(void* arg) { static_cast<TcpConnection*>(arg)->OnRetransmissionTimer(); }
+  static void DelackFired(void* arg) { static_cast<TcpConnection*>(arg)->SendAck(true); }
+  static void PersistFired(void* arg) { static_cast<TcpConnection*>(arg)->OnPersistTimeout(); }
+  static void TimeWaitFired(void* arg) { static_cast<TcpConnection*>(arg)->ToClosed(); }
 
   Simulation* sim_;
   FlowKey key_;
@@ -212,14 +231,8 @@ class TcpConnection {
   std::map<uint32_t, uint32_t> sacked_;
   uint32_t retran_high_ = 0;  // relative: holes below this were already resent
 
-  // RTT estimation (RFC 6298).
-  SimTime srtt_ = 0;
-  SimTime rttvar_ = 0;
-  SimTime rto_ = 0;
-  bool rtt_sample_pending_ = false;
-  uint32_t rtt_seq_ = 0;
-  SimTime rtt_sent_at_ = 0;
-  bool retransmitted_since_sample_ = false;  // Karn's rule
+  // RTT estimation, RTO backoff and Karn's rule (RFC 6298).
+  RttEst est_;
 
   // Receive side.
   uint32_t irs_ = 0;
@@ -232,12 +245,16 @@ class TcpConnection {
   uint32_t segs_since_ack_ = 0;
   uint32_t last_advertised_wnd_ = 0;
 
-  // Timers.
-  EventHandle rto_timer_;
-  EventHandle delack_timer_;
-  EventHandle persist_timer_;
-  EventHandle time_wait_timer_;
-  int rto_backoff_ = 0;
+  // Timers: intrusive nodes on the per-host wheel — O(1) arm/cancel, zero
+  // allocation, flat per-socket memory. rto_node_ doubles as the TLP probe
+  // timer (tlp_pending_ says which role the next firing plays).
+  TimerWheel* wheel_;
+  TimerNode rto_node_;
+  TimerNode delack_node_;
+  TimerNode persist_node_;
+  TimerNode time_wait_node_;
+  bool tlp_pending_ = false;     // rto_node_ is armed as a probe, not an RTO
+  bool tlp_fired_ = false;       // one probe per RTO episode
 
   TcpStats stats_;
 };

@@ -8,7 +8,7 @@
 namespace newtos {
 
 TcpHost::TcpHost(Simulation* sim, Ipv4Addr addr, std::function<void(PacketPtr)> output)
-    : sim_(sim), addr_(addr), output_(std::move(output)) {
+    : sim_(sim), addr_(addr), output_(std::move(output)), wheel_(sim) {
   assert(output_);
 }
 
@@ -48,7 +48,7 @@ TcpConnection* TcpHost::CreateConnection(const FlowKey& key, const TcpParams& pa
       if (TcpConnection* c = lookup()) fn(c);
     };
   }
-  auto conn = std::make_unique<TcpConnection>(sim_, key, params, std::move(full));
+  auto conn = std::make_unique<TcpConnection>(sim_, &wheel_, key, params, std::move(full));
   TcpConnection* raw = conn.get();
   conns_[key] = std::move(conn);
   return raw;
@@ -117,6 +117,8 @@ size_t TcpHost::ReapClosed() {
   }
   return reaped;
 }
+
+void TcpHost::ScheduleReap() { wheel_.Arm(&reap_node_, sim_->Now()); }
 
 std::vector<TcpConnection*> TcpHost::Connections() const {
   std::vector<TcpConnection*> out;

@@ -19,6 +19,7 @@
 #include "src/net/packet.h"
 #include "src/net/tcp.h"
 #include "src/sim/simulation.h"
+#include "src/sim/timer_wheel.h"
 
 namespace newtos {
 
@@ -61,6 +62,16 @@ class TcpHost {
   // Removes every closed connection from the table (periodic GC in long runs).
   size_t ReapClosed();
 
+  // Schedules a ReapClosed for "now" on the host's own timer wheel. Safe to
+  // call from a connection callback (the reap runs after the current event);
+  // the node dies with the host, so a crash that replaces the host can never
+  // leave a dangling reap behind.
+  void ScheduleReap();
+
+  // The wheel all of this host's connection timers live on. One pending
+  // simulation event services every armed timer on the host.
+  TimerWheel* wheel() { return &wheel_; }
+
   size_t connection_count() const { return conns_.size(); }
   uint64_t dropped_no_match() const { return dropped_no_match_; }
 
@@ -76,9 +87,15 @@ class TcpHost {
   TcpConnection* CreateConnection(const FlowKey& key, const TcpParams& params,
                                   const AppHooks& hooks);
 
+  static void ReapFired(void* arg) { static_cast<TcpHost*>(arg)->ReapClosed(); }
+
   Simulation* sim_;
   Ipv4Addr addr_;
   std::function<void(PacketPtr)> output_;
+  // Declared before conns_: connections cancel their timer nodes out of the
+  // wheel in their destructors, so they must be destroyed first.
+  TimerWheel wheel_;
+  TimerNode reap_node_{&TcpHost::ReapFired, this};
   std::unordered_map<uint16_t, Listener> listeners_;
   std::unordered_map<FlowKey, std::unique_ptr<TcpConnection>, FlowKeyHash> conns_;
   uint16_t next_ephemeral_ = 49152;

@@ -139,11 +139,8 @@ TcpHost::AppHooks MonolithicStack::HooksFor(SockId id) {
     by_sock_.erase(it->second);
     by_conn_.erase(it);
     QueueEvent(std::move(evt));
-    sim()->Schedule(0, [this] {
-      if (host_) {
-        host_->ReapClosed();
-      }
-    });
+    // Deferred reap on the host's own wheel (see TcpServer for rationale).
+    host_->ScheduleReap();
   };
   return hooks;
 }

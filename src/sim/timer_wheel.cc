@@ -1,0 +1,161 @@
+#include "src/sim/timer_wheel.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace newtos {
+
+namespace {
+
+constexpr SimTime kNoWake = -1;
+
+inline uint64_t RotateRight(uint64_t bits, int n) {
+  n &= 63;
+  if (n == 0) {
+    return bits;
+  }
+  return (bits >> n) | (bits << (64 - n));
+}
+
+inline int CountTrailingZeros(uint64_t bits) { return __builtin_ctzll(bits); }
+
+}  // namespace
+
+void TimerWheel::ScheduleWake(SimTime at) {
+  wake_.Cancel();
+  wake_time_ = at;
+  wake_scheduled_ = true;
+  wake_ = sim_->ScheduleAt(at, [this] { OnWake(); });
+}
+
+void TimerWheel::AdvanceTo(SimTime t) {
+  // Invariant: t is at or below every armed deadline (the wake is always a
+  // lower bound), so every slot the cursors jump past is empty — only the
+  // slot each new cursor lands *in* can hold nodes, and those cascade down.
+  now_ = t;
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const int slot =
+        static_cast<int>((static_cast<uint64_t>(t) >> Shift(level)) & (kSlots - 1));
+    TimerNode* node = heads_[level][slot];
+    if (node == nullptr) {
+      continue;
+    }
+    heads_[level][slot] = nullptr;
+    occupied_[level] &= ~(1ULL << slot);
+    while (node != nullptr) {
+      TimerNode* next = node->next;
+      node->next = nullptr;
+      node->pprev = nullptr;
+      // delta < the level's slot span now, so Place() drops the node at
+      // least one level; far-future parked nodes may re-park further out.
+      Place(node);
+      ++cascades_;
+      node = next;
+    }
+  }
+}
+
+SimTime TimerWheel::NextWakeCandidate() {
+  SimTime best = std::numeric_limits<SimTime>::max();
+  // Level 0: exact minimum over the first non-empty slot at/after the
+  // cursor. Every level-0 node is within the 64-slot window ahead of the
+  // cursor, so circular distance maps directly to absolute slot index.
+  if (occupied_[0] != 0) {
+    const int cursor =
+        static_cast<int>((static_cast<uint64_t>(now_) >> kLevel0Shift) & (kSlots - 1));
+    const int dist = CountTrailingZeros(RotateRight(occupied_[0], cursor));
+    const int slot = (cursor + dist) & (kSlots - 1);
+    for (TimerNode* n = heads_[0][slot]; n != nullptr; n = n->next) {
+      best = std::min(best, n->deadline_);
+    }
+  }
+  // Higher levels: the range *start* of the first non-empty slot is a lower
+  // bound on every deadline stored there. Waking there cascades the slot
+  // down and refines the bound — at most one extra wake per level.
+  for (int level = 1; level < kLevels; ++level) {
+    if (occupied_[level] == 0) {
+      continue;
+    }
+    const int64_t cursor = static_cast<int64_t>(static_cast<uint64_t>(now_) >> Shift(level));
+    const int dist =
+        CountTrailingZeros(RotateRight(occupied_[level], static_cast<int>(cursor & (kSlots - 1))));
+    SimTime start = (cursor + dist) << Shift(level);
+    if (start < now_) {
+      start = now_;  // defensive: a cursor-slot resident is due no earlier than now
+    }
+    best = std::min(best, start);
+  }
+  return best == std::numeric_limits<SimTime>::max() ? kNoWake : best;
+}
+
+void TimerWheel::RescheduleFromWheel() {
+  const SimTime candidate = NextWakeCandidate();
+  if (candidate == kNoWake) {
+    wake_.Cancel();
+    wake_scheduled_ = false;
+    return;
+  }
+  ScheduleWake(candidate);
+}
+
+void TimerWheel::OnWake() {
+  ++wakes_;
+  wake_scheduled_ = false;
+  in_wake_ = true;
+  const SimTime t = sim_->Now();
+  AdvanceTo(t);
+
+  // Collect the level-0 cursor slot's exactly-due nodes. A slot spans ~1 us,
+  // so this touches only timers due within that window; later residents stay.
+  const int slot =
+      static_cast<int>((static_cast<uint64_t>(t) >> kLevel0Shift) & (kSlots - 1));
+  due_.clear();
+  TimerNode* n = heads_[0][slot];
+  while (n != nullptr) {
+    TimerNode* next = n->next;
+    if (n->deadline_ == t) {
+      *n->pprev = n->next;
+      if (n->next != nullptr) {
+        n->next->pprev = n->pprev;
+      }
+      n->next = nullptr;
+      n->pprev = nullptr;
+      due_.push_back(n);
+    }
+    n = next;
+  }
+  if (heads_[0][slot] == nullptr) {
+    occupied_[0] &= ~(1ULL << slot);
+  }
+  if (due_.empty()) {
+    ++spurious_wakes_;  // cancelled-deadline or refinement wake; fires nothing
+  }
+  // Same-instant timers fire in arm order, matching the event queue's FIFO
+  // tie-break for the per-flow events this wheel replaces.
+  std::sort(due_.begin(), due_.end(),
+            [](const TimerNode* a, const TimerNode* b) { return a->arm_seq < b->arm_seq; });
+  // Move the sorted batch onto the intrusive expired list. Nodes stay
+  // cancellable until the moment they fire: a callback that tears down a
+  // sibling object (e.g. a connection reap) unlinks that object's due nodes
+  // right out of this list instead of leaving dangling pointers behind.
+  TimerNode** tail = &expired_head_;
+  for (TimerNode* d : due_) {
+    d->level = kExpiredLevel;
+    d->pprev = tail;
+    *tail = d;
+    tail = &d->next;
+  }
+  *tail = nullptr;
+  due_.clear();
+  while (expired_head_ != nullptr) {
+    TimerNode* f = expired_head_;
+    Unlink(f);
+    ++fires_;
+    f->fn(f->arg);
+  }
+
+  in_wake_ = false;
+  RescheduleFromWheel();
+}
+
+}  // namespace newtos

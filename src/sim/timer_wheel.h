@@ -1,0 +1,251 @@
+// A hierarchical timing wheel with exact deadlines.
+//
+// Motivation (ROADMAP "million-flow scale"): per-flow timers as individual
+// event-queue entries cost O(log n) heap sifts per arm/cancel and 40+ bytes
+// of slot/heap state per pending timer. A TCP host with 10^6 connections
+// arms and cancels several timers per segment; the wheel makes both O(1)
+// pointer splices on intrusive nodes the *socket* owns — flat memory, zero
+// allocation on arm/disarm/fire.
+//
+// Design: 6 levels x 64 slots. Level-k slots span 2^(20+6k) picoseconds
+// (level 0 ~1.05 us, level 1 ~67 us, ... level 5 ~13 min), so level k's
+// 64-slot window covers exactly one level-(k+1) slot and the wheel reaches
+// ~20 hours before far-future deadlines park in the top level and re-cascade.
+// A node is placed by its delta from the wheel's current time: the lowest
+// level whose window covers the delta, at slot (deadline >> shift) & 63.
+//
+// Deadline exactness — the property the determinism goldens depend on: a
+// node stores its full 64-bit picosecond deadline and fires at *exactly*
+// that instant, never at a slot boundary. The wheel keeps ONE pending event
+// in the simulation's queue (not one per timer), always scheduled at a
+// lower bound of the earliest armed deadline:
+//   - the exact minimum of the first non-empty level-0 slot (a slot spans
+//     ~1 us, so the scan touches only the handful of timers due soonest), or
+//   - the range *start* of the first non-empty slot of a higher level.
+// Waking at a higher level's range start cascades that slot's nodes down
+// (placement deltas shrink as now advances, so each node drops at least one
+// level) and re-schedules — a "refinement wake" that fires no timers and
+// touches no model state. After at most kLevels refinements the earliest
+// deadline is in level 0 and the wake lands on it exactly. Same-instant
+// timers fire in arm order (a per-wheel monotone sequence), matching the
+// event queue's FIFO tie-break.
+//
+// Cancel is O(1) and lazy about the pending wake: a wake whose deadline was
+// cancelled still fires, finds nothing due, and re-schedules from the wheel
+// contents ("spurious wake"). Spurious and refinement wakes change only
+// events_processed, never model observables, and are fully deterministic.
+//
+// Not thread-safe; the simulator is single-threaded by design.
+
+#ifndef SRC_SIM_TIMER_WHEEL_H_
+#define SRC_SIM_TIMER_WHEEL_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace newtos {
+
+class TimerWheel;
+
+// Intrusive timer node. The owning object (a TCP socket, a server's reap
+// hook) embeds one node per logical timer and sets `fn`/`arg` once at
+// construction; Arm/Cancel/fire never allocate. A node must be cancelled
+// (or never armed) before it is destroyed, and must not outlive its wheel.
+struct TimerNode {
+  // Fired exactly at the armed deadline. The node is already disarmed when
+  // the callback runs, so re-arming from inside it is fine.
+  void (*fn)(void* arg) = nullptr;
+  void* arg = nullptr;
+
+  TimerNode() = default;
+  TimerNode(void (*f)(void*), void* a) : fn(f), arg(a) {}
+  TimerNode(const TimerNode&) = delete;
+  TimerNode& operator=(const TimerNode&) = delete;
+  ~TimerNode() { assert(!armed() && "cancel timers before destroying them"); }
+
+  bool armed() const { return pprev != nullptr; }
+  SimTime deadline() const { return deadline_; }
+
+ private:
+  friend class TimerWheel;
+  TimerNode* next = nullptr;
+  TimerNode** pprev = nullptr;  // non-null iff linked into a slot
+  SimTime deadline_ = 0;
+  uint64_t arm_seq = 0;   // arm order; FIFO tie-break for same-instant fires
+  uint8_t level = 0;
+  uint8_t slot = 0;
+};
+
+class TimerWheel {
+ public:
+  static constexpr int kLevels = 6;
+  static constexpr int kSlotBits = 6;
+  static constexpr int kSlots = 1 << kSlotBits;     // 64, power of two
+  static constexpr int kLevel0Shift = 20;           // 2^20 ps ~ 1.05 us slots
+
+  explicit TimerWheel(Simulation* sim) : sim_(sim) { assert(sim_ != nullptr); }
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+  ~TimerWheel() { wake_.Cancel(); }
+
+  // Arms `node` to fire at absolute time `deadline` (clamped to the
+  // simulation's current time if in the past, matching ScheduleAt). Re-arming
+  // a pending node moves it. O(1).
+  void Arm(TimerNode* node, SimTime deadline);
+
+  // Disarms `node` if pending. O(1); the pending wake is left alone (a
+  // stale wake fires spuriously and re-schedules from the wheel contents).
+  void Cancel(TimerNode* node) {
+    if (node->armed()) {
+      Unlink(node);
+    }
+  }
+
+  // Pre-sizes the same-instant scratch list so a burst of up to `n` timers
+  // expiring at one instant never allocates mid-run.
+  void Reserve(size_t n) { due_.reserve(n); }
+
+  // --- Introspection (tests, benches, diagnostics) ---
+  size_t armed() const { return armed_; }
+  SimTime now() const { return now_; }          // lags sim->Now() between wakes
+  bool wake_scheduled() const { return wake_scheduled_; }
+  SimTime wake_time() const { return wake_time_; }
+  uint64_t fires() const { return fires_; }
+  uint64_t wakes() const { return wakes_; }
+  uint64_t spurious_wakes() const { return spurious_wakes_; }
+  uint64_t cascades() const { return cascades_; }
+
+ private:
+  // Sentinel for TimerNode::level while the node sits on the expired list
+  // (detached from its slot, not yet fired). Unlink() must skip the slot
+  // bitmap for such nodes.
+  static constexpr uint8_t kExpiredLevel = 0xff;
+
+  static constexpr int Shift(int level) { return kLevel0Shift + kSlotBits * level; }
+
+  // Inserts by cursor-relative slot distance. Returns the wake lower bound
+  // for this node: its exact deadline, or — when parked beyond the top
+  // window — the parked slot's range start (the cursor must cascade through
+  // that slot before the deadline, so the wake may not overshoot it).
+  SimTime Place(TimerNode* node);
+  void Unlink(TimerNode* node);
+  void OnWake();
+  void AdvanceTo(SimTime t);                     // jump cursors, cascade
+  // Lower bound of the earliest armed deadline, or -1 if the wheel is empty.
+  SimTime NextWakeCandidate();
+  void ScheduleWake(SimTime at);
+  void RescheduleFromWheel();
+
+  Simulation* sim_;
+  TimerNode* heads_[kLevels][kSlots] = {};
+  uint64_t occupied_[kLevels] = {};              // bit s: heads_[l][s] != null
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t armed_ = 0;
+
+  EventHandle wake_;
+  SimTime wake_time_ = 0;
+  bool wake_scheduled_ = false;
+  bool in_wake_ = false;   // defer wake maintenance to the end of OnWake()
+
+  std::vector<TimerNode*> due_;                  // same-instant sort scratch
+  // Due nodes wait here (still intrusively linked, so Cancel works) between
+  // collection and firing. A callback that tears down a sibling object this
+  // instant cancels its nodes right out of this list — no dangling fires.
+  TimerNode* expired_head_ = nullptr;
+
+  uint64_t fires_ = 0;
+  uint64_t wakes_ = 0;
+  uint64_t spurious_wakes_ = 0;
+  uint64_t cascades_ = 0;
+};
+
+// --- Hot-path inline definitions ---
+
+inline void TimerWheel::Arm(TimerNode* node, SimTime deadline) {
+  // Clamp against the *simulation* clock, not the wheel's lagging now_: a
+  // deadline between the two would land in an already-passed slot, which the
+  // exactly-due collection in OnWake() could never retire.
+  if (deadline < sim_->Now()) {
+    deadline = sim_->Now();
+  }
+  if (node->armed()) {
+    Unlink(node);
+  }
+  node->deadline_ = deadline;
+  node->arm_seq = next_seq_++;
+  const SimTime bound = Place(node);
+  ++armed_;
+  // The pending wake must stay a lower bound of the earliest deadline (and
+  // of any parked slot's range start). An earlier-than-wake arm replaces it
+  // *now*, so the wake keeps the sequence number a per-flow timer event
+  // would have had — same-instant FIFO order against non-timer events is
+  // preserved. Inside OnWake the final reschedule covers every arm made by
+  // the firing callbacks.
+  if (!in_wake_ && (!wake_scheduled_ || bound < wake_time_)) {
+    ScheduleWake(bound);
+  }
+}
+
+inline SimTime TimerWheel::Place(TimerNode* node) {
+  // Pick the lowest level whose cursor-relative *slot distance* is < 64.
+  // (Raw-delta level selection would alias: a delta just under a level's
+  // window can be 64 slots ahead and hash onto the cursor's own slot index.)
+  // With the distance metric a level >= 1 placement always has distance in
+  // [1, 63]: distance 0 at level k implies both times share an aligned
+  // level-k slot, which bounds the level-(k-1) distance below 64, so the
+  // search would have stopped earlier. Nodes therefore never land in a
+  // cursor slot they would immediately re-cascade out of. Distance 0 happens
+  // only at level 0, where the cursor slot is exactly where due work lives.
+  const uint64_t d = static_cast<uint64_t>(node->deadline_);
+  const uint64_t base = static_cast<uint64_t>(now_);
+  int level = 0;
+  while (level < kLevels - 1 &&
+         (d >> Shift(level)) - (base >> Shift(level)) >= static_cast<uint64_t>(kSlots)) {
+    ++level;
+  }
+  uint64_t abs_slot = d >> Shift(level);
+  SimTime bound = node->deadline_;
+  if (abs_slot - (base >> Shift(level)) >= static_cast<uint64_t>(kSlots)) {
+    // Beyond the top window (~20 h): park in the farthest top-level slot.
+    // The deadline is *not* inside that slot, so the wake bound becomes the
+    // slot's range start — the cursor cascades through it (re-parking the
+    // node closer) well before the deadline.
+    abs_slot = (base >> Shift(level)) + kSlots - 1;
+    bound = static_cast<SimTime>(abs_slot) << Shift(level);
+  }
+  const int slot = static_cast<int>(abs_slot & (kSlots - 1));
+  TimerNode*& head = heads_[level][slot];
+  node->next = head;
+  node->pprev = &head;
+  if (head != nullptr) {
+    head->pprev = &node->next;
+  }
+  head = node;
+  occupied_[level] |= 1ULL << slot;
+  node->level = static_cast<uint8_t>(level);
+  node->slot = static_cast<uint8_t>(slot);
+  return bound;
+}
+
+inline void TimerWheel::Unlink(TimerNode* node) {
+  *node->pprev = node->next;
+  if (node->next != nullptr) {
+    node->next->pprev = node->pprev;
+  }
+  node->next = nullptr;
+  node->pprev = nullptr;
+  if (node->level != kExpiredLevel && heads_[node->level][node->slot] == nullptr) {
+    occupied_[node->level] &= ~(1ULL << node->slot);
+  }
+  --armed_;
+}
+
+}  // namespace newtos
+
+#endif  // SRC_SIM_TIMER_WHEEL_H_

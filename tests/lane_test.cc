@@ -201,8 +201,15 @@ TEST(LaneEquivalence, TcpIncastIdenticalAcrossLaneCounts) {
 
 // The fig13 observables at small N, pinned from the 1-lane oracle. Any
 // engine change that moves these must update the goldens and say why.
-constexpr uint64_t kGoldenTcpDigest = 7095517581155322869ULL;
-constexpr uint64_t kGoldenTcpBytes = 25349212;
+// Updated for the RFC 6298 (5.7) backoff fix: incast is a lossy scenario,
+// and the RTO backoff now survives ACKs of retransmitted (Karn-ambiguous)
+// segments, resetting only on a fresh RTT sample. Goodput *rose* (25.3 MB ->
+// 26.1 MB): the sustained backoff suppresses spurious repeat timeouts that
+// used to collapse cwnd mid-recovery. The timer-wheel swap itself moved
+// nothing here — the whole suite, these pins included, was green with the
+// timers on the wheel and the old backoff semantics.
+constexpr uint64_t kGoldenTcpDigest = 7560822709408149440ULL;
+constexpr uint64_t kGoldenTcpBytes = 26132939;
 
 TEST(LaneEquivalence, TcpIncastMatchesGolden) {
   const TcpRun oracle = RunTcp(1);
@@ -214,8 +221,11 @@ TEST(LaneEquivalence, TcpIncastMatchesGolden) {
 // Golden for the fig13_incast bench's smallest row (N=2, 3.6 GHz): the same
 // topology, warm-up and measurement window the bench runs, so the published
 // CSV is pinned here byte-for-byte at small N. Lane count must not matter.
-constexpr uint64_t kGoldenFig13Digest = 2646121096958429565ULL;
-constexpr uint64_t kGoldenFig13Bytes = 135391608;
+// Updated for the RFC 6298 (5.7) backoff fix — see the note on
+// kGoldenTcpDigest above; same mechanism (+15% goodput at N=2, where the
+// 16-slot egress queue makes timeout recovery the dominant dynamic).
+constexpr uint64_t kGoldenFig13Digest = 54466340423464051ULL;
+constexpr uint64_t kGoldenFig13Bytes = 156431676;
 
 TEST(LaneEquivalence, Fig13SmallNMatchesGoldenAtAnyLaneCount) {
   for (int lanes : {1, 2}) {

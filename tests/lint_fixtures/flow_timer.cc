@@ -1,0 +1,17 @@
+// Lint fixture: one direct event-queue timer arm in flow code. Near-misses
+// that must NOT fire: MaybeSchedule()/Reschedule() member calls (no word
+// boundary), the words Schedule( and ScheduleAt( in this comment (blanked),
+// and a bare Schedule identifier with no call parenthesis.
+struct Sim;
+
+void MaybeSchedule();
+void Reschedule(int shard);
+
+void ArmRetransmit(Sim* sim, long rto) {
+  MaybeSchedule();
+  Reschedule(3);
+  const bool has_schedule = sim != nullptr;  // `schedule` substring, lowercase
+  if (has_schedule) {
+    sim->Schedule(rto, nullptr);
+  }
+}

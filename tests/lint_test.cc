@@ -40,7 +40,8 @@ Config AllRulesConfig() {
       "[rule.ptr-key-order]\npaths = [\"fixtures/\"]\n"
       "[rule.server-handle]\npaths = [\"fixtures/\"]\n"
       "[rule.ring-pow2]\npaths = [\"fixtures/\"]\n"
-      "[rule.fabric-shared-state]\npaths = [\"fixtures/\"]\n";
+      "[rule.fabric-shared-state]\npaths = [\"fixtures/\"]\n"
+      "[rule.flow-timer]\npaths = [\"fixtures/\"]\n";
   Config config;
   std::string error;
   EXPECT_TRUE(ParseConfig(kToml, &config, &error)) << error;
@@ -86,7 +87,8 @@ INSTANTIATE_TEST_SUITE_P(
                       RuleCase{"ptr_key_order.cc", "ptr-key-order"},
                       RuleCase{"server_handle.h", "server-handle"},
                       RuleCase{"ring_pow2.cc", "ring-pow2"},
-                      RuleCase{"fabric_static.cc", "fabric-shared-state"}),
+                      RuleCase{"fabric_static.cc", "fabric-shared-state"},
+                      RuleCase{"flow_timer.cc", "flow-timer"}),
     [](const ::testing::TestParamInfo<RuleCase>& param) {
       std::string name = param.param.rule;
       for (char& ch : name) {

@@ -15,6 +15,7 @@
 #include "src/net/tcp.h"
 #include "src/sim/random.h"
 #include "src/sim/simulation.h"
+#include "src/sim/timer_wheel.h"
 
 namespace newtos {
 namespace {
@@ -36,10 +37,10 @@ class AdversarialPair {
     params.sack = cfg.sack;
     TcpConnection::Callbacks ca;
     ca.output = [this](PacketPtr p) { Wire(std::move(p), /*to_server=*/true); };
-    client_ = std::make_unique<TcpConnection>(&sim_, key, params, std::move(ca));
+    client_ = std::make_unique<TcpConnection>(&sim_, &wheel_, key, params, std::move(ca));
     TcpConnection::Callbacks cb;
     cb.output = [this](PacketPtr p) { Wire(std::move(p), /*to_server=*/false); };
-    server_ = std::make_unique<TcpConnection>(&sim_, key.Reversed(), params, std::move(cb));
+    server_ = std::make_unique<TcpConnection>(&sim_, &wheel_, key.Reversed(), params, std::move(cb));
     server_->Listen();
   }
 
@@ -68,6 +69,7 @@ class AdversarialPair {
   }
 
   Simulation sim_;
+  TimerWheel wheel_{&sim_};  // before the connections: they cancel into it on destruction
   FuzzConfig cfg_;
   Rng rng_;
   std::unique_ptr<TcpConnection> client_;

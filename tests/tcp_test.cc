@@ -10,6 +10,7 @@
 #include "src/net/packet.h"
 #include "src/sim/random.h"
 #include "src/sim/simulation.h"
+#include "src/sim/timer_wheel.h"
 
 namespace newtos {
 namespace {
@@ -28,11 +29,11 @@ class TcpPairTest : public ::testing::Test {
     const FlowKey client_key{kClientIp, kServerIp, kClientPort, kServerPort};
     TcpConnection::Callbacks ca;
     ca.output = [this](PacketPtr p) { Deliver(std::move(p), /*to_server=*/true); };
-    client_ = std::make_unique<TcpConnection>(&sim_, client_key, params_, std::move(ca));
+    client_ = std::make_unique<TcpConnection>(&sim_, &wheel_, client_key, params_, std::move(ca));
 
     TcpConnection::Callbacks cb;
     cb.output = [this](PacketPtr p) { Deliver(std::move(p), /*to_server=*/false); };
-    server_ = std::make_unique<TcpConnection>(&sim_, client_key.Reversed(), params_,
+    server_ = std::make_unique<TcpConnection>(&sim_, &wheel_, client_key.Reversed(), params_,
                                               std::move(cb));
     server_->Listen();
   }
@@ -52,6 +53,7 @@ class TcpPairTest : public ::testing::Test {
   }
 
   Simulation sim_;
+  TimerWheel wheel_{&sim_};  // before the connections: they cancel into it on destruction
   TcpParams params_;
   std::unique_ptr<TcpConnection> client_;
   std::unique_ptr<TcpConnection> server_;
@@ -227,6 +229,135 @@ TEST_F(TcpPairTest, BlackoutRecoversViaRto) {
   EXPECT_GT(client_->stats().timeouts, 0u);
 }
 
+TEST_F(TcpPairTest, RtoBackoffSequenceMatchesHandComputation) {
+  Build();
+  client_->Connect();
+  sim_.RunFor(5 * kMillisecond);
+  ASSERT_EQ(client_->state(), TcpState::kEstablished);
+  // The handshake carries no data, so no RTT sample exists yet and the RTO
+  // sits at its initial value — the hand computation below depends on it.
+  ASSERT_EQ(client_->srtt(), 0);
+  ASSERT_EQ(client_->rto(), params_.rto_initial);
+
+  bool blackout = true;
+  drop_filter_ = [&blackout](const Packet&, bool) { return blackout; };
+
+  // One segment into a black hole. With rto_initial = 50ms, retransmissions
+  // fire at +50, +150, +350, +750ms after the transmit: the timer doubles
+  // 50 -> 100 -> 200 -> 400 as the backoff climbs 1, 2, 3, 4.
+  client_->Send(100);
+  sim_.RunFor(49 * kMillisecond);
+  EXPECT_EQ(client_->rto_backoff(), 0);
+  EXPECT_EQ(client_->stats().timeouts, 0u);
+  sim_.RunFor(2 * kMillisecond);  // t = 51ms
+  EXPECT_EQ(client_->rto_backoff(), 1);
+  EXPECT_EQ(client_->stats().timeouts, 1u);
+  sim_.RunFor(100 * kMillisecond);  // t = 151ms
+  EXPECT_EQ(client_->rto_backoff(), 2);
+  sim_.RunFor(200 * kMillisecond);  // t = 351ms
+  EXPECT_EQ(client_->rto_backoff(), 3);
+  sim_.RunFor(400 * kMillisecond);  // t = 751ms
+  EXPECT_EQ(client_->rto_backoff(), 4);
+  EXPECT_EQ(client_->stats().timeouts, 4u);
+
+  // Lift the blackout. The fifth timeout (t = 1550ms) bumps the backoff to 5
+  // and its retransmission finally goes through; the ACK advances snd_una —
+  // but per RFC 6298 (5.7) that ACK is for a *retransmitted* segment
+  // (Karn-ambiguous, no fresh sample), so the backoff must NOT reset. The
+  // pre-fix code reset it on any advance.
+  blackout = false;
+  sim_.RunFor(810 * kMillisecond);
+  EXPECT_EQ(client_->stats().timeouts, 5u);
+  EXPECT_EQ(client_->stats().bytes_acked, 100u);
+  EXPECT_EQ(client_->rto_backoff(), 5);
+  EXPECT_EQ(client_->srtt(), 0);  // tainted sample was discarded
+
+  // New, never-retransmitted data yields a fresh sample: backoff resets.
+  client_->Send(100);
+  sim_.RunFor(5 * kMillisecond);
+  EXPECT_EQ(client_->stats().bytes_acked, 200u);
+  EXPECT_EQ(client_->rto_backoff(), 0);
+  EXPECT_GT(client_->srtt(), 0);
+}
+
+TEST_F(TcpPairTest, TlpProbeRepairsTailLossBeforeRto) {
+  TcpParams params;
+  params.tail_loss_probe = true;
+  Build(params);
+  client_->Connect();
+  sim_.RunFor(5 * kMillisecond);
+
+  // Prime the RTT estimator (TLP only arms once srtt is known).
+  client_->Send(1000);
+  sim_.RunFor(5 * kMillisecond);
+  ASSERT_GT(client_->srtt(), 0);
+  ASSERT_EQ(client_->rto(), params_.rto_min);  // LAN RTT clamps to the floor
+
+  // Drop the next data segment once: a lost tail no dupacks can repair.
+  int to_drop = 1;
+  drop_filter_ = [&to_drop](const Packet& p, bool to_server) {
+    if (to_server && p.payload_bytes > 0 && to_drop > 0) {
+      --to_drop;
+      return true;
+    }
+    return false;
+  };
+  client_->Send(500);
+  // The probe fires at PTO = max(2*srtt, 2ms) = 2ms — well before the 10ms
+  // RTO — and retransmits the tail, so the transfer completes RTO-free.
+  sim_.RunFor(5 * kMillisecond);
+  EXPECT_EQ(client_->stats().tlp_probes, 1u);
+  EXPECT_EQ(client_->stats().timeouts, 0u);
+  EXPECT_EQ(server_->stats().bytes_received, 1500u);
+}
+
+TEST_F(TcpPairTest, TlpFiresOncePerEpisodeThenFallsBackToRto) {
+  TcpParams params;
+  params.tail_loss_probe = true;
+  Build(params);
+  client_->Connect();
+  sim_.RunFor(5 * kMillisecond);
+  client_->Send(1000);
+  sim_.RunFor(5 * kMillisecond);
+  ASSERT_GT(client_->srtt(), 0);
+
+  // Total blackout: the probe cannot help. Exactly one probe per episode,
+  // then the real backed-off RTO takes over.
+  bool blackout = true;
+  drop_filter_ = [&blackout](const Packet&, bool) { return blackout; };
+  client_->Send(500);
+  sim_.RunFor(50 * kMillisecond);
+  EXPECT_EQ(client_->stats().tlp_probes, 1u);
+  EXPECT_GE(client_->stats().timeouts, 1u);
+
+  blackout = false;
+  sim_.RunFor(2 * kSecond);
+  EXPECT_EQ(server_->stats().bytes_received, 1500u);
+  EXPECT_EQ(client_->stats().tlp_probes, 1u);  // still one: RTO episode never re-probes
+}
+
+TEST_F(TcpPairTest, TailLossWithoutTlpWaitsForRto) {
+  Build();  // tail_loss_probe defaults off
+  client_->Connect();
+  sim_.RunFor(5 * kMillisecond);
+  client_->Send(1000);
+  sim_.RunFor(5 * kMillisecond);
+
+  int to_drop = 1;
+  drop_filter_ = [&to_drop](const Packet& p, bool to_server) {
+    if (to_server && p.payload_bytes > 0 && to_drop > 0) {
+      --to_drop;
+      return true;
+    }
+    return false;
+  };
+  client_->Send(500);
+  sim_.RunFor(50 * kMillisecond);
+  EXPECT_EQ(client_->stats().tlp_probes, 0u);
+  EXPECT_GE(client_->stats().timeouts, 1u);  // only the RTO could repair the tail
+  EXPECT_EQ(server_->stats().bytes_received, 1500u);
+}
+
 TEST_F(TcpPairTest, RstAbortsPeer) {
   Build();
   client_->Connect();
@@ -267,6 +398,7 @@ TEST_F(TcpPairTest, DelayedAckReducesPureAckCount) {
 TEST_F(TcpPairTest, DeterministicAcrossRuns) {
   auto run = [](uint64_t loss_seed) {
     Simulation sim;
+    TimerWheel wheel(&sim);
     const FlowKey key{kClientIp, kServerIp, kClientPort, kServerPort};
     TcpParams params;
     std::unique_ptr<TcpConnection> a, b;
@@ -285,8 +417,8 @@ TEST_F(TcpPairTest, DeterministicAcrossRuns) {
     ca.output = [&wire](PacketPtr p) { wire(std::move(p), &b_raw); };
     TcpConnection::Callbacks cb;
     cb.output = [&wire](PacketPtr p) { wire(std::move(p), &a_raw); };
-    a = std::make_unique<TcpConnection>(&sim, key, params, std::move(ca));
-    b = std::make_unique<TcpConnection>(&sim, key.Reversed(), params, std::move(cb));
+    a = std::make_unique<TcpConnection>(&sim, &wheel, key, params, std::move(ca));
+    b = std::make_unique<TcpConnection>(&sim, &wheel, key.Reversed(), params, std::move(cb));
     a_raw = a.get();
     b_raw = b.get();
     b->Listen();

@@ -1,0 +1,385 @@
+// Tests for the hierarchical timing wheel (src/sim/timer_wheel.h).
+//
+// The load-bearing property is deadline exactness: timers fire at the exact
+// picosecond they were armed for — across level boundaries, cascades,
+// far-future parking, cancel/re-arm churn, and same-instant bursts — in the
+// same order the plain event-queue implementation would fire them. The
+// randomized harness at the bottom runs an identical arm/cancel script
+// against both implementations and demands identical fire logs.
+
+#include "src/sim/timer_wheel.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace newtos {
+namespace {
+
+using FireLog = std::vector<std::pair<SimTime, int>>;
+
+// A timer that logs (now, id) when it fires.
+struct WheelTimer {
+  WheelTimer(Simulation* s, TimerWheel* w, int i, FireLog* l)
+      : sim(s), wheel(w), id(i), log(l), node(&WheelTimer::Fire, this) {}
+
+  static void Fire(void* arg) {
+    auto* t = static_cast<WheelTimer*>(arg);
+    t->log->emplace_back(t->sim->Now(), t->id);
+  }
+
+  Simulation* sim;
+  TimerWheel* wheel;
+  int id;
+  FireLog* log;
+  TimerNode node;
+};
+
+class WheelFixture {
+ public:
+  WheelFixture() : wheel_(&sim_) {}
+
+  WheelTimer* NewTimer() {
+    timers_.push_back(
+        std::make_unique<WheelTimer>(&sim_, &wheel_, static_cast<int>(timers_.size()), &log_));
+    return timers_.back().get();
+  }
+
+  Simulation sim_;
+  TimerWheel wheel_;
+  FireLog log_;
+  std::vector<std::unique_ptr<WheelTimer>> timers_;
+};
+
+TEST(TimerWheel, FiresAtExactDeadline) {
+  WheelFixture f;
+  WheelTimer* t = f.NewTimer();
+  // Odd low bits: any tick rounding would show up immediately.
+  const SimTime deadline = 50 * kMillisecond + 7;
+  f.wheel_.Arm(&t->node, deadline);
+  EXPECT_TRUE(t->node.armed());
+  EXPECT_EQ(t->node.deadline(), deadline);
+  f.sim_.RunFor(60 * kMillisecond);
+  ASSERT_EQ(f.log_.size(), 1u);
+  EXPECT_EQ(f.log_[0], std::make_pair(deadline, 0));
+  EXPECT_FALSE(t->node.armed());
+  EXPECT_EQ(f.wheel_.armed(), 0u);
+}
+
+TEST(TimerWheel, ExactAcrossEveryLevelBoundary) {
+  // Level-k windows end at 2^(26+6k) ps; deadlines straddling each boundary
+  // must cascade down and still fire at their exact picosecond. Run the
+  // whole set from both an aligned and a deliberately odd start time.
+  for (SimTime start : {SimTime{0}, SimTime{123456789}}) {
+    WheelFixture f;
+    f.sim_.RunFor(start);
+    std::vector<SimTime> deadlines;
+    for (int k = 0; k <= 4; ++k) {
+      const SimTime window = SimTime{1} << (26 + 6 * k);
+      deadlines.push_back(start + window - 1);
+      deadlines.push_back(start + window);
+      deadlines.push_back(start + window + 1);
+    }
+    for (SimTime d : deadlines) {
+      f.wheel_.Arm(&f.NewTimer()->node, d);
+    }
+    f.sim_.RunFor(SimTime{1} << 51);
+    ASSERT_EQ(f.log_.size(), deadlines.size()) << "start=" << start;
+    for (size_t i = 0; i < deadlines.size(); ++i) {
+      // Fires come back in deadline order; deadlines were generated sorted.
+      EXPECT_EQ(f.log_[i].first, deadlines[i]) << "start=" << start;
+      EXPECT_EQ(f.log_[i].second, static_cast<int>(i));
+    }
+    EXPECT_GT(f.wheel_.cascades(), 0u);
+  }
+}
+
+TEST(TimerWheel, FarFutureDeadlineParksAndReCascades) {
+  // Beyond the top level's 2^56 ps (~20 h) window the node parks in the
+  // farthest top slot and re-cascades as the cursor approaches. ~3 days out
+  // takes several re-parks; the fire must still be exact.
+  WheelFixture f;
+  const SimTime deadline = (SimTime{1} << 58) + 12345;
+  f.wheel_.Arm(&f.NewTimer()->node, deadline);
+  f.sim_.RunFor((SimTime{1} << 58) + kSecond);
+  ASSERT_EQ(f.log_.size(), 1u);
+  EXPECT_EQ(f.log_[0].first, deadline);
+  EXPECT_GT(f.wheel_.cascades(), 0u);
+}
+
+TEST(TimerWheel, OnePendingEventRegardlessOfArmedCount) {
+  WheelFixture f;
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime d = static_cast<SimTime>(rng() % (SimTime{1} << 40)) + 1;
+    f.wheel_.Arm(&f.NewTimer()->node, d);
+  }
+  EXPECT_EQ(f.wheel_.armed(), 1000u);
+  // The tentpole claim: one pending wake event for the whole wheel, not one
+  // event per flow timer.
+  EXPECT_EQ(f.sim_.PendingEvents(), 1u);
+  f.sim_.RunFor(SimTime{1} << 41);
+  EXPECT_EQ(f.log_.size(), 1000u);
+  EXPECT_EQ(f.wheel_.armed(), 0u);
+}
+
+TEST(TimerWheel, SameInstantFiresInArmOrder) {
+  WheelFixture f;
+  const SimTime deadline = 3 * kMillisecond + 17;
+  // Arm in a shuffled id order; fire order must match *arm* order.
+  const int arm_order[] = {3, 0, 4, 1, 2};
+  for (int i = 0; i < 5; ++i) {
+    f.NewTimer();
+  }
+  for (int id : arm_order) {
+    f.wheel_.Arm(&f.timers_[id]->node, deadline);
+  }
+  f.sim_.RunFor(4 * kMillisecond);
+  ASSERT_EQ(f.log_.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(f.log_[i], std::make_pair(deadline, arm_order[i]));
+  }
+}
+
+TEST(TimerWheel, ReArmMovesToBackOfSameInstantOrder) {
+  WheelFixture f;
+  const SimTime deadline = kMillisecond;
+  WheelTimer* a = f.NewTimer();
+  WheelTimer* b = f.NewTimer();
+  f.wheel_.Arm(&a->node, deadline);
+  f.wheel_.Arm(&b->node, deadline);
+  f.wheel_.Arm(&a->node, deadline);  // re-arm: a now behind b
+  EXPECT_EQ(f.wheel_.armed(), 2u);
+  f.sim_.RunFor(2 * kMillisecond);
+  ASSERT_EQ(f.log_.size(), 2u);
+  EXPECT_EQ(f.log_[0].second, 1);
+  EXPECT_EQ(f.log_[1].second, 0);
+}
+
+TEST(TimerWheel, CancelledTimerNeverFiresAndStaleWakeIsHarmless) {
+  WheelFixture f;
+  WheelTimer* a = f.NewTimer();
+  WheelTimer* b = f.NewTimer();
+  f.wheel_.Arm(&a->node, 10 * kMicrosecond);   // earliest: owns the wake
+  f.wheel_.Arm(&b->node, 40 * kMillisecond);
+  f.wheel_.Cancel(&a->node);                   // wake at 10 us is now stale
+  EXPECT_FALSE(a->node.armed());
+  f.sim_.RunFor(50 * kMillisecond);
+  ASSERT_EQ(f.log_.size(), 1u);
+  EXPECT_EQ(f.log_[0], std::make_pair(SimTime{40 * kMillisecond}, 1));
+  // The stale wake fired, found nothing due, and re-scheduled from the
+  // wheel contents without touching any timer.
+  EXPECT_GE(f.wheel_.spurious_wakes(), 1u);
+}
+
+TEST(TimerWheel, ZeroDelayAndPastDeadlinesClampAndFire) {
+  WheelFixture f;
+  f.sim_.RunFor(kMillisecond);
+  WheelTimer* a = f.NewTimer();
+  WheelTimer* b = f.NewTimer();
+  f.wheel_.Arm(&a->node, f.sim_.Now());       // due immediately
+  f.wheel_.Arm(&b->node, f.sim_.Now() - 55);  // past: clamps, due immediately
+  f.sim_.RunFor(1);
+  ASSERT_EQ(f.log_.size(), 2u);
+  EXPECT_EQ(f.log_[0].first, kMillisecond);
+  EXPECT_EQ(f.log_[1].first, kMillisecond);
+}
+
+TEST(TimerWheel, ReArmFromCallbackIsPeriodic) {
+  WheelFixture f;
+  struct Periodic {
+    TimerWheel* wheel;
+    Simulation* sim;
+    FireLog* log;
+    SimTime period;
+    int remaining;
+    TimerNode node;
+    static void Fire(void* arg) {
+      auto* p = static_cast<Periodic*>(arg);
+      p->log->emplace_back(p->sim->Now(), 0);
+      if (--p->remaining > 0) {
+        p->wheel->Arm(&p->node, p->sim->Now() + p->period);
+      }
+    }
+  };
+  Periodic p{&f.wheel_, &f.sim_, &f.log_, 250 * kMicrosecond + 3, 8,
+             TimerNode(&Periodic::Fire, &p)};
+  f.wheel_.Arm(&p.node, p.period);
+  f.sim_.RunFor(10 * kMillisecond);
+  ASSERT_EQ(f.log_.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(f.log_[i].first, (i + 1) * p.period);
+  }
+}
+
+TEST(TimerWheel, CancelRearmChurnLeavesWheelConsistent) {
+  WheelFixture f;
+  std::mt19937_64 rng(42);
+  constexpr int kTimers = 64;
+  for (int i = 0; i < kTimers; ++i) {
+    f.NewTimer();
+  }
+  std::vector<SimTime> expected;
+  for (int round = 0; round < 50; ++round) {
+    const SimTime base = f.sim_.Now();
+    // Arm everything, then cancel half, then re-arm a quarter: nodes move
+    // between levels and slots while stale wakes pile up.
+    for (int i = 0; i < kTimers; ++i) {
+      f.wheel_.Arm(&f.timers_[i]->node, base + 1 + static_cast<SimTime>(rng() % (kSecond / 4)));
+    }
+    for (int i = 0; i < kTimers; i += 2) {
+      f.wheel_.Cancel(&f.timers_[i]->node);
+    }
+    for (int i = 0; i < kTimers; i += 4) {
+      f.wheel_.Arm(&f.timers_[i]->node, base + 1 + static_cast<SimTime>(rng() % (kSecond / 4)));
+    }
+    for (int i = 0; i < kTimers; ++i) {
+      if (f.timers_[i]->node.armed()) {
+        expected.push_back(f.timers_[i]->node.deadline());
+      }
+    }
+    f.sim_.RunFor(kSecond / 2);
+    EXPECT_EQ(f.wheel_.armed(), 0u) << "round " << round;
+  }
+  ASSERT_EQ(f.log_.size(), expected.size());
+  std::sort(expected.begin(), expected.end());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(f.log_[i].first, expected[i]);
+  }
+  EXPECT_GE(f.wheel_.spurious_wakes(), 1u);
+}
+
+TEST(TimerWheel, CallbackMayCancelAndDestroySiblingDueNode) {
+  // Two timers due at the same instant; the first one's callback cancels and
+  // destroys the second (the reap pattern: a fired timer tears down another
+  // object that also had a timer pending). The second must not fire and the
+  // wheel must not touch its freed node.
+  struct Reaper {
+    TimerWheel* wheel;
+    std::unique_ptr<WheelTimer>* victim;
+    int* fired;
+    TimerNode node;
+    static void Fire(void* arg) {
+      auto* r = static_cast<Reaper*>(arg);
+      ++*r->fired;
+      r->wheel->Cancel(&(*r->victim)->node);
+      r->victim->reset();
+    }
+  };
+  WheelFixture f;
+  int reaper_fired = 0;
+  auto victim = std::make_unique<WheelTimer>(&f.sim_, &f.wheel_, 99, &f.log_);
+  Reaper reaper{&f.wheel_, &victim, &reaper_fired, TimerNode(&Reaper::Fire, &reaper)};
+  const SimTime deadline = 5 * kMillisecond;
+  f.wheel_.Arm(&reaper.node, deadline);         // armed first: fires first
+  f.wheel_.Arm(&victim->node, deadline);
+  f.sim_.RunFor(10 * kMillisecond);
+  EXPECT_EQ(reaper_fired, 1);
+  EXPECT_TRUE(f.log_.empty());  // the victim never fired
+  EXPECT_EQ(f.wheel_.armed(), 0u);
+}
+
+// --- Randomized equivalence against the reference EventQueue path ---
+
+// A timer implemented the old way: one per-flow event in the global queue.
+struct RefTimer {
+  Simulation* sim;
+  int id;
+  FireLog* log;
+  EventHandle handle;
+
+  void Arm(SimTime deadline) {
+    handle.Cancel();
+    handle = sim->ScheduleAt(deadline, [this] { log->emplace_back(sim->Now(), id); });
+  }
+  void Cancel() { handle.Cancel(); }
+};
+
+struct ScriptOp {
+  SimTime at;       // when the operation executes
+  int timer;        // which timer it targets
+  bool cancel;      // false: arm for `deadline`
+  SimTime deadline;
+};
+
+TEST(TimerWheel, RandomizedEquivalenceWithEventQueue) {
+  // One arm/cancel script, two executions: wheel vs reference. Fire logs
+  // must match exactly — same picosecond times, same order. Delays are
+  // drawn log-uniformly from ~1 us to ~70 ms so every wheel level and the
+  // cascade machinery participate.
+  constexpr int kTimers = 48;
+  constexpr int kOps = 1500;
+  std::mt19937_64 rng(20260808);
+  std::vector<ScriptOp> script;
+  SimTime cursor = 0;
+  for (int i = 0; i < kOps; ++i) {
+    cursor += 1 + static_cast<SimTime>(rng() % (100 * kMicrosecond));
+    ScriptOp op;
+    op.at = cursor;
+    op.timer = static_cast<int>(rng() % kTimers);
+    op.cancel = (rng() % 4) == 0;  // 25% cancels, 75% (re-)arms
+    const int shift = 20 + static_cast<int>(rng() % 17);  // 2^20..2^36 ps
+    op.deadline = cursor + (SimTime{1} << shift) + static_cast<SimTime>(rng() % 1000);
+    script.push_back(op);
+  }
+
+  // Wheel execution.
+  FireLog wheel_log;
+  {
+    WheelFixture f;
+    f.log_.reserve(kOps);
+    for (int i = 0; i < kTimers; ++i) {
+      f.NewTimer();
+    }
+    for (const ScriptOp& op : script) {
+      f.sim_.ScheduleAt(op.at, [&f, &op] {
+        if (op.cancel) {
+          f.wheel_.Cancel(&f.timers_[op.timer]->node);
+        } else {
+          f.wheel_.Arm(&f.timers_[op.timer]->node, op.deadline);
+        }
+      });
+    }
+    f.sim_.Run();
+    EXPECT_EQ(f.wheel_.armed(), 0u);
+    wheel_log = f.log_;
+  }
+
+  // Reference execution.
+  FireLog ref_log;
+  {
+    Simulation sim;
+    std::vector<RefTimer> timers;
+    timers.reserve(kTimers);
+    for (int i = 0; i < kTimers; ++i) {
+      timers.push_back(RefTimer{&sim, i, &ref_log, EventHandle()});
+    }
+    for (const ScriptOp& op : script) {
+      sim.ScheduleAt(op.at, [&timers, &op] {
+        if (op.cancel) {
+          timers[op.timer].Cancel();
+        } else {
+          timers[op.timer].Arm(op.deadline);
+        }
+      });
+    }
+    sim.Run();
+  }
+
+  ASSERT_FALSE(ref_log.empty());
+  ASSERT_EQ(wheel_log.size(), ref_log.size());
+  for (size_t i = 0; i < ref_log.size(); ++i) {
+    EXPECT_EQ(wheel_log[i].first, ref_log[i].first) << "fire " << i;
+    EXPECT_EQ(wheel_log[i].second, ref_log[i].second) << "fire " << i;
+  }
+}
+
+}  // namespace
+}  // namespace newtos

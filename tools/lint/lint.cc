@@ -273,6 +273,7 @@ class Linter {
     if (On("server-handle")) CheckServerHandle();
     if (On("ring-pow2")) CheckRingPow2();
     if (On("fabric-shared-state")) CheckFabricSharedState();
+    if (On("flow-timer")) CheckFlowTimer();
   }
 
  private:
@@ -629,6 +630,30 @@ class Linter {
           }
         }
         pos = j > pos + 6 ? j : pos + 6;
+      }
+    }
+  }
+
+  // --- flow-timer: a Schedule/ScheduleAt call in the TCP/OS layers. Per-flow
+  // timers as event-queue entries are exactly what the TimerWheel replaced
+  // (O(log n) heap sifts, one queue slot per pending timer); arming the queue
+  // directly from protocol or server code reintroduces them. Whole-word match
+  // with a call parenthesis, so MaybeSchedule()/Reschedule() members and
+  // declarations of other names never fire.
+  void CheckFlowTimer() {
+    for (const char* fn : {"Schedule", "ScheduleAt"}) {
+      for (size_t l = 0; l < file_.code.size(); ++l) {
+        const std::string& line = file_.code[l];
+        size_t pos = 0;
+        while ((pos = FindWord(line, fn, pos)) != std::string::npos) {
+          const size_t after = SkipSpaces(line, pos + std::string(fn).size());
+          if (after < line.size() && line[after] == '(') {
+            Report("flow-timer", static_cast<int>(l + 1),
+                   std::string(fn) + "() arms the event queue directly; flow and "
+                   "housekeeping timers go on the owning host's TimerWheel");
+          }
+          pos += std::string(fn).size();
+        }
       }
     }
   }

@@ -33,6 +33,10 @@
 //   fabric-shared-state  mutable `static` / `thread_local` data in fabric
 //                    code (lanes run concurrently between barriers; shared
 //                    mutable state must be lane-owned or flush-side)
+//   flow-timer       direct event-queue arming (Schedule / ScheduleAt) in
+//                    the TCP/OS layers — flow and housekeeping timers must
+//                    live on the owning host's TimerWheel, which keeps one
+//                    pending event per wheel instead of one per flow
 
 #ifndef TOOLS_LINT_LINT_H_
 #define TOOLS_LINT_LINT_H_
