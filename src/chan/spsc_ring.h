@@ -3,12 +3,12 @@
 // This is the paper's fast-path artifact built for real: NewtOS replaced
 // kernel IPC on the network fast path with shared-memory channels exactly
 // like this one — a fixed-size power-of-two ring where the producer only
-// writes `head_` and the consumer only writes `tail_`, so steady-state
+// writes `prod_.head` and the consumer only writes `cons_.tail`, so steady-state
 // communication needs no atomic RMW, no syscalls, and no kernel at all.
 //
 // Memory ordering: the producer publishes a slot with a release store of
-// `head_`; the consumer observes it with an acquire load, and vice versa for
-// `tail_`. Head and tail live on separate cache lines to avoid false sharing,
+// `prod_.head`; the consumer observes it with an acquire load, and vice versa for
+// `cons_.tail`. Head and tail live on separate cache lines to avoid false sharing,
 // and each side keeps a cached copy of the other's index so the common case
 // touches a single shared line only when the cache runs dry (the classic
 // optimization from Lee et al. / FastForward / Lamport queues).
@@ -55,8 +55,8 @@ class SpscRing {
 
   ~SpscRing() {
     // Drain remaining elements (single-threaded at destruction time).
-    const size_t head = head_.load(std::memory_order_relaxed);
-    for (size_t i = tail_.load(std::memory_order_relaxed); i != head; ++i) {
+    const size_t head = prod_.head.load(std::memory_order_relaxed);
+    for (size_t i = cons_.tail.load(std::memory_order_relaxed); i != head; ++i) {
       slots_[i & mask_].Destroy();
     }
     std::allocator<Slot>().deallocate(slots_, mask_ + 1);
@@ -72,17 +72,17 @@ class SpscRing {
   // Attempts to enqueue; returns false if the ring is full.
   bool TryPush(T value) {
 #if NEWTOS_CHECKERS
-    CheckSide(producer_thread_);
+    CheckSide(check_state_.producer_thread);
 #endif
-    const size_t head = head_.load(std::memory_order_relaxed);
-    if (head - cached_tail_ > mask_) {
-      cached_tail_ = tail_.load(std::memory_order_acquire);
-      if (head - cached_tail_ > mask_) {
+    const size_t head = prod_.head.load(std::memory_order_relaxed);
+    if (head - prod_.cached_tail > mask_) {
+      prod_.cached_tail = cons_.tail.load(std::memory_order_acquire);
+      if (head - prod_.cached_tail > mask_) {
         return false;
       }
     }
     slots_[head & mask_].Construct(std::move(value));
-    head_.store(head + 1, std::memory_order_release);
+    prod_.head.store(head + 1, std::memory_order_release);
     return true;
   }
 
@@ -90,23 +90,23 @@ class SpscRing {
   template <typename... Args>
   bool TryEmplace(Args&&... args) {
 #if NEWTOS_CHECKERS
-    CheckSide(producer_thread_);
+    CheckSide(check_state_.producer_thread);
 #endif
-    const size_t head = head_.load(std::memory_order_relaxed);
-    if (head - cached_tail_ > mask_) {
-      cached_tail_ = tail_.load(std::memory_order_acquire);
-      if (head - cached_tail_ > mask_) {
+    const size_t head = prod_.head.load(std::memory_order_relaxed);
+    if (head - prod_.cached_tail > mask_) {
+      prod_.cached_tail = cons_.tail.load(std::memory_order_acquire);
+      if (head - prod_.cached_tail > mask_) {
         return false;
       }
     }
     slots_[head & mask_].Construct(T(std::forward<Args>(args)...));
-    head_.store(head + 1, std::memory_order_release);
+    prod_.head.store(head + 1, std::memory_order_release);
     return true;
   }
 
   // Producer-side occupancy estimate (exact for the producer).
   size_t SizeProducer() const {
-    return head_.load(std::memory_order_relaxed) - tail_.load(std::memory_order_acquire);
+    return prod_.head.load(std::memory_order_relaxed) - cons_.tail.load(std::memory_order_acquire);
   }
 
   // --- Consumer side (one thread only) ---
@@ -114,19 +114,19 @@ class SpscRing {
   // Attempts to dequeue.
   std::optional<T> TryPop() {
 #if NEWTOS_CHECKERS
-    CheckSide(consumer_thread_);
+    CheckSide(check_state_.consumer_thread);
 #endif
-    const size_t tail = tail_.load(std::memory_order_relaxed);
-    if (cached_head_ == tail) {
-      cached_head_ = head_.load(std::memory_order_acquire);
-      if (cached_head_ == tail) {
+    const size_t tail = cons_.tail.load(std::memory_order_relaxed);
+    if (cons_.cached_head == tail) {
+      cons_.cached_head = prod_.head.load(std::memory_order_acquire);
+      if (cons_.cached_head == tail) {
         return std::nullopt;
       }
     }
     Slot& slot = slots_[tail & mask_];
     std::optional<T> out(std::move(slot.value()));
     slot.Destroy();
-    tail_.store(tail + 1, std::memory_order_release);
+    cons_.tail.store(tail + 1, std::memory_order_release);
     return out;
   }
 
@@ -134,12 +134,12 @@ class SpscRing {
   // next TryPop.
   const T* Front() {
 #if NEWTOS_CHECKERS
-    CheckSide(consumer_thread_);
+    CheckSide(check_state_.consumer_thread);
 #endif
-    const size_t tail = tail_.load(std::memory_order_relaxed);
-    if (cached_head_ == tail) {
-      cached_head_ = head_.load(std::memory_order_acquire);
-      if (cached_head_ == tail) {
+    const size_t tail = cons_.tail.load(std::memory_order_relaxed);
+    if (cons_.cached_head == tail) {
+      cons_.cached_head = prod_.head.load(std::memory_order_acquire);
+      if (cons_.cached_head == tail) {
         return nullptr;
       }
     }
@@ -149,18 +149,18 @@ class SpscRing {
   // True if the consumer currently sees an empty ring.
   bool EmptyConsumer() {
 #if NEWTOS_CHECKERS
-    CheckSide(consumer_thread_);
+    CheckSide(check_state_.consumer_thread);
 #endif
-    const size_t tail = tail_.load(std::memory_order_relaxed);
-    if (cached_head_ == tail) {
-      cached_head_ = head_.load(std::memory_order_acquire);
+    const size_t tail = cons_.tail.load(std::memory_order_relaxed);
+    if (cons_.cached_head == tail) {
+      cons_.cached_head = prod_.head.load(std::memory_order_acquire);
     }
-    return cached_head_ == tail;
+    return cons_.cached_head == tail;
   }
 
   // Consumer-side occupancy estimate (exact for the consumer).
   size_t SizeConsumer() const {
-    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_relaxed);
+    return prod_.head.load(std::memory_order_acquire) - cons_.tail.load(std::memory_order_relaxed);
   }
 
 #if NEWTOS_CHECKERS
@@ -174,15 +174,15 @@ class SpscRing {
   // relaxed load per operation; compiled away entirely without the macro.
 
   uint64_t check_violations() const {
-    return check_violations_.load(std::memory_order_relaxed);
+    return check_state_.check_violations.load(std::memory_order_relaxed);
   }
 
   // Forgets the side owners (e.g. between the single-threaded fill phase of
   // a test and its threaded phase). Call only while no other thread is
   // touching the ring.
   void ResetCheckOwners() {
-    producer_thread_.store(0, std::memory_order_relaxed);
-    consumer_thread_.store(0, std::memory_order_relaxed);
+    check_state_.producer_thread.store(0, std::memory_order_relaxed);
+    check_state_.consumer_thread.store(0, std::memory_order_relaxed);
   }
 #endif
 
@@ -203,16 +203,35 @@ class SpscRing {
     return p;
   }
 
+  // Each cursor group owns a full cache line: the alignas on the struct both
+  // aligns it to a line boundary and pads sizeof up to a line multiple, so
+  // the producer's head/cached_tail can never share a line with the
+  // consumer's tail/cached_head — or with whatever object the allocator
+  // places after the ring. The static_asserts pin that: if a field is ever
+  // added that pushes a group past one line (silently giving it two, with
+  // the neighbour group starting mid-way through an even cadence on some
+  // toolchain), the build fails instead of the bench quietly regressing.
+  struct alignas(kCacheLineBytes) ProducerCursor {
+    std::atomic<size_t> head{0};
+    size_t cached_tail = 0;
+  };
+  struct alignas(kCacheLineBytes) ConsumerCursor {
+    std::atomic<size_t> tail{0};
+    size_t cached_head = 0;
+  };
+  static_assert(sizeof(ProducerCursor) == kCacheLineBytes,
+                "producer cursor group must occupy exactly one cache line");
+  static_assert(sizeof(ConsumerCursor) == kCacheLineBytes,
+                "consumer cursor group must occupy exactly one cache line");
+  static_assert(alignof(ProducerCursor) == kCacheLineBytes &&
+                    alignof(ConsumerCursor) == kCacheLineBytes,
+                "cursor groups must start on a cache-line boundary");
+
   const size_t mask_;
   Slot* slots_;
 
-  // Producer-owned line.
-  alignas(kCacheLineBytes) std::atomic<size_t> head_{0};
-  size_t cached_tail_ = 0;
-
-  // Consumer-owned line.
-  alignas(kCacheLineBytes) std::atomic<size_t> tail_{0};
-  size_t cached_head_ = 0;
+  ProducerCursor prod_;
+  ConsumerCursor cons_;
 
 #if NEWTOS_CHECKERS
   static uint64_t ThreadToken() {
@@ -227,13 +246,23 @@ class SpscRing {
     uint64_t expected = 0;
     if (!owner.compare_exchange_strong(expected, self, std::memory_order_relaxed) &&
         expected != self) {
-      check_violations_.fetch_add(1, std::memory_order_relaxed);
+      check_state_.check_violations.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  std::atomic<uint64_t> producer_thread_{0};
-  std::atomic<uint64_t> consumer_thread_{0};
-  std::atomic<uint64_t> check_violations_{0};
+  // The identity tokens get their own line: the producer token is read on
+  // every producer-side call, so leaving it on the consumer's line (where it
+  // used to sit, right after cached_head) made every producer op pull a line
+  // the consumer dirties on every Pop — false sharing the checker build paid
+  // on the hot path it was checking.
+  struct alignas(kCacheLineBytes) CheckState {
+    std::atomic<uint64_t> producer_thread{0};
+    std::atomic<uint64_t> consumer_thread{0};
+    std::atomic<uint64_t> check_violations{0};
+  };
+  static_assert(sizeof(CheckState) == kCacheLineBytes,
+                "checker identity tokens must occupy exactly one cache line");
+  CheckState check_state_;
 #endif
 };
 

@@ -292,6 +292,22 @@ size_t ChannelChecker::AnalyzeTrace(const TraceRecorder& rec, const TraceOptions
   return violations_.size() - before;
 }
 
+void ChannelChecker::OnLiveRingSummary(const std::string& ring_name, uint64_t pushes,
+                                       uint64_t pops, uint64_t imposters) {
+  live_rings_.push_back(LiveRing{ring_name, pushes, pops, imposters});
+  if (imposters > 0) {
+    violations_.push_back(Violation{ring_name, "imposter-actor",
+                                    std::to_string(imposters) +
+                                        " foreign-thread operation(s) on a bound SPSC side"});
+  }
+  if (pushes != pops) {
+    violations_.push_back(Violation{ring_name, "live-conservation",
+                                    "pushes=" + std::to_string(pushes) +
+                                        " != pops=" + std::to_string(pops) +
+                                        " after quiesce (messages lost or stuck)"});
+  }
+}
+
 void ChannelChecker::Report(std::ostream& os) const {
   os << "channel checker: " << (ok() ? "OK" : "VIOLATIONS") << " — " << violations_.size()
      << " violation(s), " << suppressed_ << " suppressed, " << ring_order_.size()
@@ -312,6 +328,10 @@ void ChannelChecker::Report(std::ostream& os) const {
       os << " [shared producers: " << rs.shared_reason << "]";
     }
     os << "\n";
+  }
+  for (const LiveRing& lr : live_rings_) {
+    os << "  live ring '" << lr.name << "': pushes=" << lr.pushes << " pops=" << lr.pops
+       << " imposters=" << lr.imposters << "\n";
   }
   for (const Violation& v : violations_) {
     os << "  VIOLATION [" << v.rule << "] " << (v.ring.empty() ? "<trace>" : v.ring) << ": "

@@ -119,6 +119,18 @@ class ChannelChecker {
   // Consumer side: a message was popped.
   void OnPop(const void* ring, uint64_t hop);
 
+  // --- Live-mode summary (real-thread backend) ---
+
+  // The live backend's ThreadChannels run on real threads, where the
+  // single-threaded hooks above cannot be called; there the SpscRing's own
+  // first-touch identity check counts imposters during the run, and the
+  // LiveStack folds each ring's post-join counters in here. A non-zero
+  // imposter count or a push/pop imbalance becomes a regular violation, so
+  // both backends end a run answering "did anything break the channel
+  // protocol?" through the same ok()/Report() surface.
+  void OnLiveRingSummary(const std::string& ring_name, uint64_t pushes, uint64_t pops,
+                         uint64_t imposters);
+
   // --- Offline trace analysis ---
 
   struct TraceOptions {
@@ -136,6 +148,14 @@ class ChannelChecker {
 
   bool ok() const { return violations_.empty(); }
   const std::vector<Violation>& violations() const { return violations_; }
+
+  struct LiveRing {
+    std::string name;
+    uint64_t pushes = 0;
+    uint64_t pops = 0;
+    uint64_t imposters = 0;
+  };
+  const std::vector<LiveRing>& live_rings() const { return live_rings_; }
   // Repeats of an already-reported (ring, rule) pair, counted not stored.
   uint64_t suppressed() const { return suppressed_; }
   void Report(std::ostream& os) const;
@@ -169,6 +189,7 @@ class ChannelChecker {
   static void EraseLiveHop(RingState& rs, uint64_t hop);
 
   uint32_t current_actor_ = 0;
+  std::vector<LiveRing> live_rings_;
   std::vector<std::string> actor_names_;  // index = actor id - 1
   std::unordered_map<const void*, RingState> rings_;
   std::vector<const void*> ring_order_;  // registration order, for Report()

@@ -38,6 +38,15 @@
 
 namespace newtos {
 
+// Canonical server-role names, shared by both execution backends: the DES
+// stack below and the live real-thread stack (src/runtime/live_stack) name
+// their actors/tracks from this list, so checker reports and trace exports
+// line up across modes. Order is the live backend's pin layout (role i on
+// cpu i when cores allow).
+inline constexpr const char* kStackRoleNames[] = {"app",  "tcp", "ip",
+                                                  "peer", "udp", "watchdog"};
+inline constexpr size_t kStackRoleCount = sizeof(kStackRoleNames) / sizeof(kStackRoleNames[0]);
+
 struct StackConfig {
   Ipv4Addr addr = Ipv4(10, 0, 0, 1);
 

@@ -1,0 +1,65 @@
+// RuntimeClock: the real-thread backend's time source.
+//
+// The simulator's model time is SimTime picoseconds advanced by the event
+// queue; the live backend has no event queue, so time comes from the host's
+// monotonic clock. This header is the ONLY sanctioned wall-clock read in
+// src/ (outside the pre-existing src/host harness): the runtime-clock lint
+// rule bans std::chrono / clock_gettime everywhere else under src/, so model
+// code cannot quietly grow a wall-clock dependency that would break
+// determinism. Everything in src/runtime that needs "now" goes through here.
+//
+// Timestamps are nanoseconds from an arbitrary epoch (CLOCK_MONOTONIC), so
+// they are comparable within a process run but meaningless across runs —
+// exactly the property the live stack needs (latency = pop_ns - push_ns) and
+// exactly the property the simulator must never depend on.
+
+#ifndef SRC_RUNTIME_CLOCK_H_
+#define SRC_RUNTIME_CLOCK_H_
+
+#include <cstdint>
+#include <ctime>
+
+#include "src/sim/time.h"
+
+namespace newtos {
+
+// Nanoseconds on the host's monotonic clock.
+inline uint64_t MonotonicNowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// Blocks the calling thread for ~ns (nanosleep; EINTR rounds down — callers
+// poll in a loop anyway). For coarse waits like the run-deadline monitor,
+// never for anything on a message path.
+inline void SleepNs(uint64_t ns) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(ns / 1'000'000'000ULL);
+  ts.tv_nsec = static_cast<long>(ns % 1'000'000'000ULL);
+  nanosleep(&ts, nullptr);
+}
+
+// A clock with a captured epoch, so live timestamps can be rendered on the
+// same axis the trace tooling uses (SimTime picoseconds since "start").
+class RuntimeClock {
+ public:
+  RuntimeClock() : epoch_ns_(MonotonicNowNs()) {}
+
+  uint64_t NowNs() const { return MonotonicNowNs() - epoch_ns_; }
+
+  // Live nanoseconds rendered as the trace subsystem's SimTime picoseconds.
+  SimTime NowPs() const { return static_cast<SimTime>(NowNs()) * 1000; }
+
+  static SimTime NsToPs(uint64_t ns) { return static_cast<SimTime>(ns) * 1000; }
+
+  uint64_t epoch_ns() const { return epoch_ns_; }
+
+ private:
+  uint64_t epoch_ns_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_RUNTIME_CLOCK_H_

@@ -1,0 +1,88 @@
+#include "src/runtime/engine.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/host/affinity.h"
+
+namespace newtos {
+
+RuntimeEngine::RuntimeEngine(RuntimePollPolicy policy) : policy_(policy) {}
+
+RuntimeEngine::~RuntimeEngine() {
+  if (started_ && !joined_) {
+    RequestStop();
+    Join();
+  }
+}
+
+ServerContext& RuntimeEngine::Add(std::string name, int cpu,
+                                  std::function<void(ServerContext&)> body) {
+  assert(!started_ && "Add() after Start() would race the running threads");
+  auto entry = std::make_unique<Entry>();
+  entry->ctx.name_ = std::move(name);
+  entry->ctx.engine_ = this;
+  entry->ctx.requested_cpu_ = cpu;
+  entry->body = std::move(body);
+  entries_.push_back(std::move(entry));
+  return entries_.back()->ctx;
+}
+
+void RuntimeEngine::Start() {
+  assert(!started_);
+  started_ = true;
+  const int ncpu = AvailableCpuCount();
+  for (auto& e : entries_) {
+    Entry* entry = e.get();
+    entry->thread = std::thread([entry, ncpu] {
+      ServerContext& ctx = entry->ctx;
+      // Pin only when the requested CPU genuinely exists: on a host with
+      // fewer cores than servers the modulo alias would stack two servers
+      // on one core *and* forbid the scheduler from fixing it — strictly
+      // worse than timeslicing. Fall back and record it.
+      if (ctx.requested_cpu_ >= 0 && ctx.requested_cpu_ < ncpu) {
+        ctx.pinned_ = PinThisThreadToCpu(ctx.requested_cpu_);
+      }
+      entry->body(ctx);
+    });
+  }
+}
+
+void RuntimeEngine::RequestStop() {
+  stop_.store(true, std::memory_order_release);
+  // Ring every doorbell: a server parked on its gate must wake to observe
+  // the flag (its Idle() recheck includes StopRequested()).
+  for (auto& e : entries_) {
+    e->ctx.gate_.Notify();
+  }
+}
+
+void RuntimeEngine::Join() {
+  if (joined_) {
+    return;
+  }
+  for (auto& e : entries_) {
+    if (e->thread.joinable()) {
+      e->thread.join();
+    }
+  }
+  joined_ = true;
+}
+
+std::vector<ThreadStats> RuntimeEngine::Stats() const {
+  std::vector<ThreadStats> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    ThreadStats s;
+    s.name = e->ctx.name_;
+    s.requested_cpu = e->ctx.requested_cpu_;
+    s.pinned = e->ctx.pinned_;
+    s.loops = e->ctx.loops_;
+    s.parks = e->ctx.parks_;
+    s.gate_wakes = e->ctx.gate_.wakes();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace newtos

@@ -1,0 +1,654 @@
+#include "src/runtime/live_stack.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "src/check/channel_checker.h"
+#include "src/os/stack.h"
+#include "src/runtime/clock.h"
+
+namespace newtos {
+namespace {
+
+// Watchdog attachment for one server: heartbeats arrive on `in`, acks leave
+// on `out`. Inactive (nullptr) for the mini stack and for the watchdog
+// itself.
+struct WdPort {
+  ThreadChannel<RtMsg>* in = nullptr;
+  ThreadChannel<RtMsg>* out = nullptr;
+  bool active() const { return in != nullptr; }
+};
+
+// Drains the heartbeat ring: acks every kHeartbeat, latches kShutdown.
+// The ack push loops on the full ring — safe because the watchdog always
+// drains its ack rings and never blocks on this server (the stop check only
+// matters on the deadline-abort path, where the watchdog may be gone).
+bool ServiceWd(ServerContext& ctx, WdPort& wd, bool* wd_done) {
+  if (!wd.active()) {
+    return false;
+  }
+  bool work = false;
+  while (std::optional<RtMsg> m = wd.in->TryPop()) {
+    work = true;
+    if (m->type == RtMsg::Type::kHeartbeat) {
+      RtMsg ack;
+      ack.type = RtMsg::Type::kHeartbeatAck;
+      ack.seq = m->seq;
+      while (!wd.out->TryPush(ack)) {
+        if (ctx.StopRequested()) {
+          return work;
+        }
+      }
+    } else if (m->type == RtMsg::Type::kShutdown) {
+      *wd_done = true;
+    }
+  }
+  return work;
+}
+
+bool WdHasInput(WdPort& wd) { return wd.active() && !wd.in->EmptyConsumer(); }
+
+// State shared across server threads. Everything here is either atomic or
+// owned by exactly one thread until after Join().
+struct SharedState {
+  const LiveStackConfig* cfg = nullptr;
+  RuntimeClock clock;
+  std::atomic<bool> transfer_done{false};
+  std::atomic<int> exited{0};
+  IdleGate* wd_gate = nullptr;  // rung when transfer_done flips
+};
+
+// Results a server thread writes before exiting; read post-join only.
+struct PeerOut {
+  uint64_t delivered = 0;
+  uint64_t chunks = 0;
+  uint64_t digest = 1469598103934665603ULL;  // FNV-1a offset basis
+  uint64_t payload_errors = 0;
+  bool saw_shutdown = false;
+  LatencyHistogram latency;
+};
+
+struct WdOut {
+  uint64_t rounds = 0;
+};
+
+// --- Server bodies -------------------------------------------------------
+//
+// Every body follows the same shape: a non-blocking service loop (full
+// outputs land in a one-slot pending buffer, never a blocked push), a
+// ServiceWd step, and ctx.Idle() with a recheck that mirrors exactly the
+// conditions under which the loop could make progress.
+
+void AppBody(ServerContext& ctx, SharedState* sh, ThreadChannel<RtMsg>* out, WdPort wd,
+             TraceRecorder* rec, TrackId track, NameId e2e) {
+  const uint64_t total = sh->cfg->transfer_bytes;
+  const uint32_t mss = sh->cfg->mss;
+  uint64_t off = 0;
+  uint32_t seq = 0;
+  bool shutdown_sent = false;
+  bool wd_done = !wd.active();
+  RtMsg m;
+  bool msg_ready = false;
+
+  while (!(shutdown_sent && wd_done)) {
+    if (ctx.StopRequested()) {
+      return;
+    }
+    bool work = false;
+    if (off < total) {
+      if (!msg_ready) {
+        const uint32_t len =
+            static_cast<uint32_t>(std::min<uint64_t>(mss, total - off));
+        m.type = RtMsg::Type::kData;
+        m.len = static_cast<uint16_t>(len);
+        m.seq = seq;
+        m.stream_off = off;
+        for (uint32_t i = 0; i < len; ++i) {
+          m.payload[i] = RtPatternByte(off + i);
+        }
+        msg_ready = true;
+      }
+      m.born_ns = sh->clock.NowNs();
+      if (out->TryPush(m)) {
+        if (TraceOn(rec)) {
+          rec->AsyncBegin(sh->clock.NowPs(), track, e2e, seq + 1);
+        }
+        off += m.len;
+        ++seq;
+        msg_ready = false;
+        work = true;
+      }
+    } else if (!shutdown_sent) {
+      RtMsg s;
+      s.type = RtMsg::Type::kShutdown;
+      s.seq = seq;
+      if (out->TryPush(s)) {
+        shutdown_sent = true;
+        work = true;
+      }
+    }
+    work |= ServiceWd(ctx, wd, &wd_done);
+    ctx.Idle(work, [&] {
+      return (!shutdown_sent && out->HasSpaceProducer()) || WdHasInput(wd);
+    });
+  }
+}
+
+void TcpBody(ServerContext& ctx, SharedState* sh, ThreadChannel<RtMsg>* data_in,
+             ThreadChannel<RtMsg>* data_out, ThreadChannel<RtMsg>* ack_in, WdPort wd) {
+  const uint64_t window = sh->cfg->window_bytes;
+  uint64_t acked_bytes = 0;
+  bool fwd_shutdown = false;   // data-path shutdown forwarded downstream
+  bool ack_shutdown = false;   // ack-path shutdown received (all data acked)
+  bool wd_done = !wd.active();
+  std::optional<RtMsg> pending;
+
+  // A data segment is admissible when it fits the in-flight window (acks
+  // are cumulative byte counts from the peer). Shutdown rides behind the
+  // last segment and is never window-gated — but FIFO order means it can
+  // never overtake a withheld segment either.
+  auto admissible = [&](const RtMsg& f) {
+    return f.type != RtMsg::Type::kData || f.stream_off + f.len <= acked_bytes + window;
+  };
+
+  while (!(fwd_shutdown && ack_shutdown && wd_done)) {
+    if (ctx.StopRequested()) {
+      return;
+    }
+    bool work = false;
+    while (std::optional<RtMsg> a = ack_in->TryPop()) {
+      work = true;
+      if (a->type == RtMsg::Type::kAck) {
+        acked_bytes = std::max(acked_bytes, a->stream_off);
+      } else if (a->type == RtMsg::Type::kShutdown) {
+        ack_shutdown = true;
+      }
+    }
+    if (pending && data_out->TryPush(*pending)) {
+      if (pending->type == RtMsg::Type::kShutdown) {
+        fwd_shutdown = true;
+      }
+      pending.reset();
+      work = true;
+    }
+    while (!pending && !fwd_shutdown) {
+      const RtMsg* front = data_in->Front();
+      if (front == nullptr || !admissible(*front)) {
+        break;
+      }
+      RtMsg msg = *data_in->TryPop();
+      work = true;
+      const bool is_shutdown = msg.type == RtMsg::Type::kShutdown;
+      if (!data_out->TryPush(msg)) {
+        pending = msg;
+      } else if (is_shutdown) {
+        fwd_shutdown = true;
+      }
+    }
+    work |= ServiceWd(ctx, wd, &wd_done);
+    ctx.Idle(work, [&] {
+      if (!ack_in->EmptyConsumer() || WdHasInput(wd)) {
+        return true;
+      }
+      if (pending) {
+        return data_out->HasSpaceProducer();
+      }
+      if (!fwd_shutdown) {
+        const RtMsg* front = data_in->Front();
+        return front != nullptr && admissible(*front) && data_out->HasSpaceProducer();
+      }
+      return false;
+    });
+  }
+}
+
+// Bidirectional store-and-forward: the live ip server shuttles data down
+// and acks up, one pending slot per direction.
+struct ForwardDir {
+  ThreadChannel<RtMsg>* in = nullptr;
+  ThreadChannel<RtMsg>* out = nullptr;
+  std::optional<RtMsg> pending;
+  bool shutdown_forwarded = false;
+};
+
+bool ForwardStep(ForwardDir& d) {
+  bool work = false;
+  if (d.pending && d.out->TryPush(*d.pending)) {
+    if (d.pending->type == RtMsg::Type::kShutdown) {
+      d.shutdown_forwarded = true;
+    }
+    d.pending.reset();
+    work = true;
+  }
+  while (!d.pending && !d.shutdown_forwarded) {
+    std::optional<RtMsg> m = d.in->TryPop();
+    if (!m) {
+      break;
+    }
+    work = true;
+    const bool is_shutdown = m->type == RtMsg::Type::kShutdown;
+    if (!d.out->TryPush(*m)) {
+      d.pending = *m;
+    } else if (is_shutdown) {
+      d.shutdown_forwarded = true;
+    }
+  }
+  return work;
+}
+
+bool ForwardCanProgress(ForwardDir& d) {
+  if (d.pending) {
+    return d.out->HasSpaceProducer();
+  }
+  return !d.shutdown_forwarded && !d.in->EmptyConsumer() && d.out->HasSpaceProducer();
+}
+
+void IpBody(ServerContext& ctx, ForwardDir down, ForwardDir up, WdPort wd) {
+  bool wd_done = !wd.active();
+  while (!(down.shutdown_forwarded && up.shutdown_forwarded && wd_done)) {
+    if (ctx.StopRequested()) {
+      return;
+    }
+    bool work = ForwardStep(down);
+    work |= ForwardStep(up);
+    work |= ServiceWd(ctx, wd, &wd_done);
+    ctx.Idle(work, [&] {
+      return ForwardCanProgress(down) || ForwardCanProgress(up) || WdHasInput(wd);
+    });
+  }
+}
+
+void PeerBody(ServerContext& ctx, SharedState* sh, ThreadChannel<RtMsg>* data_in,
+              ThreadChannel<RtMsg>* ack_out, WdPort wd, PeerOut* out, TraceRecorder* rec,
+              TrackId track, NameId e2e) {
+  const bool verify = sh->cfg->verify_payload;
+  bool wd_done = !wd.active();
+  std::optional<RtMsg> pending_ack;
+
+  while (!((out->saw_shutdown && !pending_ack) && wd_done)) {
+    if (ctx.StopRequested()) {
+      return;
+    }
+    bool work = false;
+    if (pending_ack && ack_out->TryPush(*pending_ack)) {
+      pending_ack.reset();
+      work = true;
+    }
+    while (!pending_ack) {
+      std::optional<RtMsg> m = data_in->TryPop();
+      if (!m) {
+        break;
+      }
+      work = true;
+      if (m->type == RtMsg::Type::kData) {
+        if (verify) {
+          for (uint32_t i = 0; i < m->len; ++i) {
+            if (m->payload[i] != RtPatternByte(m->stream_off + i)) {
+              ++out->payload_errors;
+            }
+          }
+        }
+        out->delivered += m->len;
+        ++out->chunks;
+        // Same FNV-1a fold as StreamIntegrityChecker::OnChunk — the digest
+        // is directly comparable to the DES reference.
+        out->digest ^= m->len;
+        out->digest *= 1099511628211ULL;
+        out->latency.Record(RuntimeClock::NsToPs(sh->clock.NowNs() - m->born_ns));
+        if (TraceOn(rec)) {
+          rec->AsyncEnd(sh->clock.NowPs(), track, e2e, m->seq + 1);
+        }
+        RtMsg ack;
+        ack.type = RtMsg::Type::kAck;
+        ack.seq = m->seq;
+        ack.stream_off = out->delivered;
+        if (!ack_out->TryPush(ack)) {
+          pending_ack = ack;
+        }
+      } else if (m->type == RtMsg::Type::kShutdown) {
+        out->saw_shutdown = true;
+        // Wake the watchdog so it can broadcast the quiesce.
+        sh->transfer_done.store(true, std::memory_order_release);
+        if (sh->wd_gate != nullptr) {
+          sh->wd_gate->Notify();
+        }
+        RtMsg echo;
+        echo.type = RtMsg::Type::kShutdown;
+        if (!ack_out->TryPush(echo)) {
+          pending_ack = echo;
+        }
+        break;
+      }
+    }
+    work |= ServiceWd(ctx, wd, &wd_done);
+    ctx.Idle(work, [&] {
+      if (!data_in->EmptyConsumer() || WdHasInput(wd)) {
+        return true;
+      }
+      return pending_ack.has_value() && ack_out->HasSpaceProducer();
+    });
+  }
+}
+
+void UdpBody(ServerContext& ctx, WdPort wd) {
+  // The live udp server carries no fig2 traffic; it exists to be watched —
+  // an idle server parked on its gate, woken only by heartbeats. Exactly
+  // the paper's "dedicated core idling at low power" case.
+  bool wd_done = !wd.active();
+  while (!wd_done) {
+    if (ctx.StopRequested()) {
+      return;
+    }
+    const bool work = ServiceWd(ctx, wd, &wd_done);
+    ctx.Idle(work, [&] { return WdHasInput(wd); });
+  }
+}
+
+void WatchdogBody(ServerContext& ctx, SharedState* sh,
+                  std::vector<ThreadChannel<RtMsg>*> out_rings,
+                  std::vector<ThreadChannel<RtMsg>*> in_rings, WdOut* wd_out) {
+  const size_t n = out_rings.size();
+  const uint32_t max_rounds = sh->cfg->heartbeat_rounds;
+  std::vector<uint64_t> sent(n, 0);
+  std::vector<uint64_t> acked(n, 0);
+  std::vector<bool> outstanding(n, false);
+  std::vector<bool> shutdown_pushed(n, false);
+  uint32_t round = 0;
+
+  auto all_quiesced = [&] {
+    for (size_t i = 0; i < n; ++i) {
+      if (!shutdown_pushed[i] || acked[i] != sent[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  while (true) {
+    if (ctx.StopRequested()) {
+      return;
+    }
+    bool work = false;
+    for (size_t i = 0; i < n; ++i) {
+      while (std::optional<RtMsg> m = in_rings[i]->TryPop()) {
+        work = true;
+        if (m->type == RtMsg::Type::kHeartbeatAck) {
+          ++acked[i];
+          outstanding[i] = false;
+        }
+      }
+    }
+    const bool quiesce = sh->transfer_done.load(std::memory_order_acquire);
+    if (quiesce) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!shutdown_pushed[i]) {
+          RtMsg s;
+          s.type = RtMsg::Type::kShutdown;
+          if (out_rings[i]->TryPush(s)) {
+            shutdown_pushed[i] = true;
+            work = true;
+          }
+        }
+      }
+      if (all_quiesced()) {
+        wd_out->rounds = round;
+        return;
+      }
+    } else if (round < max_rounds) {
+      // Self-clocked ping-pong: a fresh heartbeat goes out only once the
+      // previous one was acked, so liveness checking can never flood a
+      // server's ring or starve the data path.
+      bool round_complete = true;
+      for (size_t i = 0; i < n; ++i) {
+        if (!outstanding[i] && sent[i] <= round) {
+          RtMsg hb;
+          hb.type = RtMsg::Type::kHeartbeat;
+          hb.seq = round;
+          if (out_rings[i]->TryPush(hb)) {
+            outstanding[i] = true;
+            ++sent[i];
+            work = true;
+          }
+        }
+        if (sent[i] <= round || outstanding[i]) {
+          round_complete = false;
+        }
+      }
+      if (round_complete) {
+        ++round;
+        work = true;
+      }
+    }
+    ctx.Idle(work, [&] {
+      for (size_t i = 0; i < n; ++i) {
+        if (!in_rings[i]->EmptyConsumer()) {
+          return true;
+        }
+      }
+      return sh->transfer_done.load(std::memory_order_acquire) && !all_quiesced();
+    });
+  }
+}
+
+}  // namespace
+
+LiveStackResult RunLiveFig2(const LiveStackConfig& config) {
+  LiveStackResult result;
+  SharedState sh;
+  sh.cfg = &config;
+
+  using Chan = ThreadChannel<RtMsg>;
+  auto make_chan = [](std::string name, size_t cap) {
+    return std::make_unique<Chan>(std::move(name), cap);
+  };
+
+  // Role order fixes the pin layout (role i -> cpu first_cpu + i) and the
+  // trace track order; names come from the canonical list both backends
+  // share (src/os/stack.h).
+  std::vector<std::string> roles;
+  if (config.mini) {
+    roles = {kStackRoleNames[0], kStackRoleNames[1], kStackRoleNames[3]};  // app, tcp, peer
+  } else {
+    roles.assign(kStackRoleNames, kStackRoleNames + kStackRoleCount);
+  }
+
+  std::vector<std::unique_ptr<Chan>> chans;
+  auto add_chan = [&](std::string name, size_t cap) {
+    chans.push_back(make_chan(std::move(name), cap));
+    return chans.back().get();
+  };
+
+  Chan* a2t = add_chan("app/tcp", config.ring_capacity);
+  Chan* t2down = add_chan(config.mini ? "tcp/peer" : "tcp/ip", config.ring_capacity);
+  Chan* i2p = config.mini ? nullptr : add_chan("ip/peer", config.ring_capacity);
+  Chan* p2up = add_chan(config.mini ? "peer/tcp" : "peer/ip", config.ring_capacity);
+  Chan* i2t = config.mini ? nullptr : add_chan("ip/tcp", config.ring_capacity);
+
+  // Watchdog rings (full stack only): one heartbeat + one ack ring per
+  // watched server, SPSC preserved — the watchdog is sole producer on every
+  // /wd ring and sole consumer on every /ack ring.
+  const std::vector<std::string> watched =
+      config.mini ? std::vector<std::string>{}
+                  : std::vector<std::string>{"app", "tcp", "ip", "peer", "udp"};
+  std::vector<Chan*> wd_tx;  // watchdog -> server
+  std::vector<Chan*> wd_rx;  // server -> watchdog
+  for (const std::string& w : watched) {
+    wd_tx.push_back(add_chan("wd/" + w, 16));
+    wd_rx.push_back(add_chan(w + "/wd", 16));
+  }
+  auto wd_port = [&](size_t watched_idx) {
+    WdPort p;
+    if (watched_idx < wd_tx.size()) {
+      p.in = wd_tx[watched_idx];
+      p.out = wd_rx[watched_idx];
+    }
+    return p;
+  };
+
+  // Trace wiring: one single-threaded recorder per server thread.
+  std::vector<TraceRecorder*> recs(roles.size(), nullptr);
+  std::vector<TrackId> tracks(roles.size(), 0);
+  NameId e2e_app = 0;
+  NameId e2e_peer = 0;
+  if (config.enable_trace) {
+    for (size_t i = 0; i < roles.size(); ++i) {
+      auto rec = std::make_unique<TraceRecorder>(config.trace_capacity);
+      tracks[i] = rec->RegisterTrack(roles[i], static_cast<int>(i));
+      rec->set_enabled(true);
+      recs[i] = rec.get();
+      result.recorders.push_back(std::move(rec));
+    }
+    const size_t app_i = 0;
+    const size_t peer_i = config.mini ? 2 : 3;
+    e2e_app = recs[app_i]->InternName("seg");
+    e2e_peer = recs[peer_i]->InternName("seg");
+  }
+
+  RuntimeEngine engine(config.poll);
+  PeerOut peer_out;
+  WdOut wd_out;
+
+  auto cpu_for = [&](size_t i) {
+    if (!config.pin_threads) {
+      return -1;
+    }
+    const int cpu = config.first_cpu + static_cast<int>(i);
+    // A pin budget below the role count means the surplus roles float (the
+    // scheduler timeslices them) rather than aliasing onto already-taken
+    // cores — modulo-pinning two servers to one core is strictly worse than
+    // letting the kernel balance them.
+    if (config.pin_cpu_limit >= 0 && cpu >= config.pin_cpu_limit) {
+      return -1;
+    }
+    return cpu;
+  };
+
+  std::vector<ServerContext*> ctxs;
+  auto finish = [&sh](auto body) {
+    return [&sh, body = std::move(body)](ServerContext& ctx) {
+      body(ctx);
+      sh.exited.fetch_add(1, std::memory_order_release);
+    };
+  };
+
+  if (config.mini) {
+    ctxs.push_back(&engine.Add("app", cpu_for(0), finish([&](ServerContext& ctx) {
+      AppBody(ctx, &sh, a2t, WdPort{}, recs[0], tracks[0], e2e_app);
+    })));
+    ctxs.push_back(&engine.Add("tcp", cpu_for(1), finish([&](ServerContext& ctx) {
+      TcpBody(ctx, &sh, a2t, t2down, p2up, WdPort{});
+    })));
+    ctxs.push_back(&engine.Add("peer", cpu_for(2), finish([&](ServerContext& ctx) {
+      PeerBody(ctx, &sh, t2down, p2up, WdPort{}, &peer_out, recs[2], tracks[2], e2e_peer);
+    })));
+  } else {
+    ctxs.push_back(&engine.Add("app", cpu_for(0), finish([&](ServerContext& ctx) {
+      AppBody(ctx, &sh, a2t, wd_port(0), recs[0], tracks[0], e2e_app);
+    })));
+    ctxs.push_back(&engine.Add("tcp", cpu_for(1), finish([&](ServerContext& ctx) {
+      TcpBody(ctx, &sh, a2t, t2down, i2t, wd_port(1));
+    })));
+    ctxs.push_back(&engine.Add("ip", cpu_for(2), finish([&](ServerContext& ctx) {
+      ForwardDir down{t2down, i2p, std::nullopt, false};
+      ForwardDir up{p2up, i2t, std::nullopt, false};
+      IpBody(ctx, std::move(down), std::move(up), wd_port(2));
+    })));
+    ctxs.push_back(&engine.Add("peer", cpu_for(3), finish([&](ServerContext& ctx) {
+      PeerBody(ctx, &sh, i2p, p2up, wd_port(3), &peer_out, recs[3], tracks[3], e2e_peer);
+    })));
+    ctxs.push_back(&engine.Add("udp", cpu_for(4), finish([&](ServerContext& ctx) {
+      UdpBody(ctx, wd_port(4));
+    })));
+    ctxs.push_back(&engine.Add("watchdog", cpu_for(5), finish([&](ServerContext& ctx) {
+      WatchdogBody(ctx, &sh,
+                   std::vector<Chan*>(wd_tx.begin(), wd_tx.end()),
+                   std::vector<Chan*>(wd_rx.begin(), wd_rx.end()), &wd_out);
+    })));
+    sh.wd_gate = &ctxs.back()->gate();
+  }
+
+  // Doorbell wiring: consumer/producer gates per ring, by topology.
+  auto bind = [&](Chan* c, ServerContext* producer, ServerContext* consumer) {
+    if (c == nullptr) {
+      return;
+    }
+    c->BindProducerGate(&producer->gate());
+    c->BindConsumerGate(&consumer->gate());
+  };
+  if (config.mini) {
+    bind(a2t, ctxs[0], ctxs[1]);
+    bind(t2down, ctxs[1], ctxs[2]);
+    bind(p2up, ctxs[2], ctxs[1]);
+  } else {
+    bind(a2t, ctxs[0], ctxs[1]);
+    bind(t2down, ctxs[1], ctxs[2]);
+    bind(i2p, ctxs[2], ctxs[3]);
+    bind(p2up, ctxs[3], ctxs[2]);
+    bind(i2t, ctxs[2], ctxs[1]);
+    // Watched order equals role order (app, tcp, ip, peer, udp), so watched
+    // index i is context index i; the watchdog is context 5.
+    for (size_t i = 0; i < watched.size(); ++i) {
+      bind(wd_tx[i], ctxs[5], ctxs[i]);
+      bind(wd_rx[i], ctxs[i], ctxs[5]);
+    }
+  }
+
+  engine.Start();
+  const uint64_t t0 = sh.clock.NowNs();
+
+  // Deadline monitor: the quiesce protocol ends the run in the happy path;
+  // the deadline turns a protocol bug into a failed result instead of a
+  // hung process.
+  const int n_threads = static_cast<int>(roles.size());
+  bool timed_out = false;
+  while (sh.exited.load(std::memory_order_acquire) < n_threads) {
+    if (sh.clock.NowNs() - t0 > config.timeout_ns) {
+      timed_out = true;
+      engine.RequestStop();
+      break;
+    }
+    SleepNs(200'000);
+  }
+  engine.Join();
+  result.wall_seconds = static_cast<double>(sh.clock.NowNs() - t0) / 1e9;
+
+  // --- Post-join audit (single-threaded again) ---
+  result.delivered = peer_out.delivered;
+  result.chunks = peer_out.chunks;
+  result.digest = peer_out.digest;
+  result.payload_errors = peer_out.payload_errors;
+  result.heartbeat_rounds = wd_out.rounds;
+  result.latency = peer_out.latency;
+  result.completed =
+      !timed_out && peer_out.saw_shutdown && result.delivered == config.transfer_bytes;
+  result.threads = engine.Stats();
+
+  result.conservation_ok = true;
+  for (const auto& c : chans) {
+    LiveRingStats rs;
+    rs.name = c->name();
+    rs.pushes = c->pushes();
+    rs.pops = c->pops();
+    rs.full_retries = c->full_retries();
+    rs.residue = c->Residue();
+    rs.imposters = c->imposters();
+    if (rs.pushes != rs.pops || rs.residue != 0) {
+      result.conservation_ok = false;
+    }
+    result.rings.push_back(std::move(rs));
+  }
+  return result;
+}
+
+void FoldIntoChecker(const LiveStackResult& result, ChannelChecker* checker) {
+  if (checker == nullptr) {
+    return;
+  }
+  for (const LiveRingStats& r : result.rings) {
+    checker->OnLiveRingSummary(r.name, r.pushes, r.pops, r.imposters);
+  }
+}
+
+}  // namespace newtos

@@ -1,0 +1,154 @@
+// LiveStack: the multiserver stack on real pinned OS threads.
+//
+// This is the paper's architecture run for real instead of modeled: each
+// server role is an OS thread on (ideally) its own core, and every hop is a
+// lock-free SPSC ring (ThreadChannel) — the same topology the simulator
+// wires with SimChannels:
+//
+//   app ──data──▶ tcp ──data──▶ ip ──data──▶ peer        (full stack)
+//                  ◀───acks──── ip ◀───acks───┘
+//   wd ◀──ack── {app,tcp,ip,peer,udp} ◀──heartbeat── wd
+//
+//   app ──data──▶ tcp ──data──▶ peer                      (mini, 3 servers)
+//                  ◀────────acks─────────────┘
+//
+// Messages are fixed-size PODs with inline payload (RtMsg), faithful to
+// NewtOS's fixed-slot shared-memory channels — and unlike the simulator,
+// the payload bytes are real: the app fills each segment with a
+// deterministic pattern and the peer verifies every byte, so "byte-identical
+// stream" is checked against actual memory, not just chunk sizes.
+//
+// Flow control mirrors TCP's: the tcp thread forwards a segment only when
+// it fits the advertised window (in-flight bytes), advancing on cumulative
+// acks from the peer; the app↔tcp ring provides backpressure upstream. Every
+// server loop is non-blocking (a full output parks the message in a pending
+// slot and the loop keeps servicing its other inputs), so the ring graph
+// cannot deadlock.
+//
+// Shutdown is a quiesce protocol, not a cancellation: a kShutdown token
+// rides the data path behind the last segment, bounces back along the ack
+// path, and the watchdog broadcasts it over the heartbeat rings once the
+// peer reports the transfer done. Each server exits only after seeing
+// shutdown on every input it owns — post-join, every ring must satisfy
+// pushes == pops with zero residue, and Run() reports that conservation
+// check in the result.
+
+#ifndef SRC_RUNTIME_LIVE_STACK_H_
+#define SRC_RUNTIME_LIVE_STACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/metrics/histogram.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/thread_channel.h"
+#include "src/trace/recorder.h"
+
+namespace newtos {
+
+class ChannelChecker;
+
+// Fixed-size live message: one cache-friendly POD slot per ring entry, no
+// pointers, no pool — a message is wholly owned by whichever side of the
+// ring it is on, so crossing threads never shares memory.
+struct RtMsg {
+  enum class Type : uint8_t {
+    kData = 0,
+    kAck = 1,
+    kShutdown = 2,
+    kHeartbeat = 3,
+    kHeartbeatAck = 4,
+  };
+  static constexpr uint32_t kMaxPayload = 1460;  // one MSS of real bytes
+
+  Type type = Type::kData;
+  uint16_t len = 0;         // payload bytes (kData only)
+  uint32_t seq = 0;         // segment index / heartbeat round
+  uint64_t stream_off = 0;  // kData: byte offset; kAck: cumulative acked bytes
+  uint64_t born_ns = 0;     // RuntimeClock stamp at first push (latency)
+  unsigned char payload[kMaxPayload];
+};
+static_assert(std::is_trivially_copyable_v<RtMsg>, "RtMsg must stay a POD slot");
+
+// The deterministic payload byte at absolute stream offset `off` — both ends
+// compute it independently, so verification needs no reference copy.
+inline unsigned char RtPatternByte(uint64_t off) {
+  return static_cast<unsigned char>((off * 131) ^ (off >> 7));
+}
+
+struct LiveStackConfig {
+  uint64_t transfer_bytes = 1 << 20;  // fig2-small default: 1 MiB
+  uint32_t mss = 1460;                // must match the DES TcpParams::mss
+  size_t ring_capacity = 256;         // slots per data/ack ring
+  uint32_t window_bytes = 64 * 1460;  // tcp in-flight cap (cumulative acks)
+  bool mini = false;                  // 3-server stack (app, tcp, peer)
+  bool pin_threads = true;            // role i -> cpu first_cpu + i, if it exists
+  int first_cpu = 0;
+  // Pin budget for core sweeps: roles whose cpu would be >= the limit run
+  // unpinned instead (never aliased onto a taken core). -1 = no limit.
+  int pin_cpu_limit = -1;
+  RuntimePollPolicy poll;
+  bool verify_payload = true;         // peer checks every byte vs the pattern
+  bool enable_trace = false;          // per-thread recorders, e2e async hops
+  size_t trace_capacity = 1 << 14;
+  uint64_t timeout_ns = 30'000'000'000ULL;  // watchdog deadline for the run
+  // Self-clocked heartbeat rounds the watchdog drives before going quiet
+  // (bounded so the liveness traffic cannot starve the transfer on small
+  // hosts; 0 disables heartbeats entirely).
+  uint32_t heartbeat_rounds = 64;
+};
+
+// Post-join counters for one ring, for reporting and the ChannelChecker.
+struct LiveRingStats {
+  std::string name;
+  uint64_t pushes = 0;
+  uint64_t pops = 0;
+  uint64_t full_retries = 0;
+  uint64_t residue = 0;    // slots still occupied post-join (must be 0)
+  uint64_t imposters = 0;  // SpscRing identity violations (NEWTOS_CHECKERS)
+};
+
+struct LiveStackResult {
+  // Delivered-stream fingerprint — directly comparable to Fig2DesResult.
+  uint64_t delivered = 0;
+  uint64_t chunks = 0;
+  uint64_t digest = 0;
+
+  uint64_t payload_errors = 0;    // bytes that mismatched the pattern
+  uint64_t heartbeat_rounds = 0;  // completed watchdog ping-pong rounds
+  bool completed = false;         // transfer finished before the deadline
+  bool conservation_ok = false;   // every ring: pushes == pops, residue 0
+  double wall_seconds = 0.0;
+
+  LatencyHistogram latency;  // app-push -> peer-pop, per data segment
+  std::vector<ThreadStats> threads;
+  std::vector<LiveRingStats> rings;
+  // Per-server trace recorders (empty unless config.enable_trace); export
+  // with WriteChromeTraceMerged.
+  std::vector<std::unique_ptr<TraceRecorder>> recorders;
+
+  uint64_t TotalImposters() const {
+    uint64_t n = 0;
+    for (const LiveRingStats& r : rings) {
+      n += r.imposters;
+    }
+    return n;
+  }
+};
+
+// Runs the fig2 bulk transfer on the live stack and returns the result.
+// Synchronous: spawns the server threads, waits for the quiesce protocol
+// (or the deadline), joins, and audits the rings single-threaded.
+LiveStackResult RunLiveFig2(const LiveStackConfig& config);
+
+// Folds a live run's post-join ring summaries into a ChannelChecker, so
+// both backends answer "did anything violate the channel protocol?" through
+// the same reporting surface. No-op when checkers are compiled out.
+void FoldIntoChecker(const LiveStackResult& result, ChannelChecker* checker);
+
+}  // namespace newtos
+
+#endif  // SRC_RUNTIME_LIVE_STACK_H_

@@ -1,0 +1,128 @@
+// ThreadChannel: the live backend's channel — a bare SpscRing plus the
+// doorbells and counters the engine needs, presenting the same vocabulary as
+// the simulated SimChannel (Push/Pop/Front, per-side stats, checker hook).
+//
+// The DES wrapper modeled a shared-memory ring; this IS one. No cost model,
+// no taps, no scheduled delivery: a push is a release store into the ring
+// and (when the consumer might be parked) a doorbell ring on its IdleGate.
+// Stats are split per side into cache-line-aligned groups for the same
+// reason the ring's cursors are: the producer's counters must never bounce
+// on the consumer's line.
+//
+// Threading contract: exactly one producer thread and one consumer thread,
+// the same contract the underlying SpscRing enforces (and, under
+// NEWTOS_CHECKERS, actually checks — imposters() surfaces the ring's
+// first-touch identity violations so the live stack can report them through
+// the ChannelChecker).
+
+#ifndef SRC_RUNTIME_THREAD_CHANNEL_H_
+#define SRC_RUNTIME_THREAD_CHANNEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/chan/spsc_ring.h"
+#include "src/runtime/park.h"
+
+namespace newtos {
+
+template <typename T>
+class ThreadChannel {
+ public:
+  ThreadChannel(std::string name, size_t capacity) : ring_(capacity), name_(std::move(name)) {}
+
+  ThreadChannel(const ThreadChannel&) = delete;
+  ThreadChannel& operator=(const ThreadChannel&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t capacity() const { return ring_.capacity(); }
+
+  // Doorbells. The consumer gate is rung after every successful push (so a
+  // parked consumer wakes); the producer gate after every successful pop (so
+  // a producer parked on backpressure wakes). Either may stay null.
+  void BindConsumerGate(IdleGate* gate) { consumer_gate_ = gate; }
+  void BindProducerGate(IdleGate* gate) { producer_gate_ = gate; }
+  IdleGate* consumer_gate() const { return consumer_gate_; }
+  IdleGate* producer_gate() const { return producer_gate_; }
+
+  // --- Producer side ---
+
+  bool TryPush(T value) {
+    if (!ring_.TryPush(std::move(value))) {
+      ++prod_stats_.full_retries;
+      return false;
+    }
+    ++prod_stats_.pushes;
+    if (consumer_gate_ != nullptr) {
+      consumer_gate_->Notify();
+    }
+    return true;
+  }
+
+  // True if a push could currently succeed (producer thread only; exact for
+  // the producer). Used by park rechecks on backpressured producers.
+  bool HasSpaceProducer() const { return ring_.SizeProducer() < ring_.capacity(); }
+
+  // --- Consumer side ---
+
+  std::optional<T> TryPop() {
+    std::optional<T> out = ring_.TryPop();
+    if (out.has_value()) {
+      ++cons_stats_.pops;
+      if (producer_gate_ != nullptr) {
+        producer_gate_->Notify();
+      }
+    }
+    return out;
+  }
+
+  // Peek without consuming (consumer thread only; pointer valid until the
+  // next TryPop).
+  const T* Front() { return ring_.Front(); }
+
+  bool EmptyConsumer() { return ring_.EmptyConsumer(); }
+
+  // --- Post-join accounting (single-threaded once workers are joined) ---
+
+  uint64_t pushes() const { return prod_stats_.pushes; }
+  uint64_t pops() const { return cons_stats_.pops; }
+  uint64_t full_retries() const { return prod_stats_.full_retries; }
+  size_t Residue() const { return ring_.SizeProducer(); }
+
+  uint64_t imposters() const {
+#if NEWTOS_CHECKERS
+    return ring_.check_violations();
+#else
+    return 0;
+#endif
+  }
+
+ private:
+  SpscRing<T> ring_;
+
+  // Plain counters, one side each — no atomics needed under the SPSC
+  // contract, but they must live on distinct lines (see spsc_ring.h).
+  struct alignas(kCacheLineBytes) ProducerStats {
+    uint64_t pushes = 0;
+    uint64_t full_retries = 0;
+  };
+  struct alignas(kCacheLineBytes) ConsumerStats {
+    uint64_t pops = 0;
+  };
+  static_assert(sizeof(ProducerStats) == kCacheLineBytes &&
+                    sizeof(ConsumerStats) == kCacheLineBytes,
+                "per-side stats must occupy exactly one cache line each");
+
+  ProducerStats prod_stats_;
+  ConsumerStats cons_stats_;
+
+  IdleGate* consumer_gate_ = nullptr;
+  IdleGate* producer_gate_ = nullptr;
+  std::string name_;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_RUNTIME_THREAD_CHANNEL_H_

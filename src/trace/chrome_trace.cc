@@ -43,23 +43,22 @@ void PrintMicros(std::ostream& out, SimTime ps) {
   out << buf;
 }
 
-}  // namespace
-
-bool WriteChromeTrace(const TraceRecorder& rec, std::ostream& out) {
-  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-
-  // Track metadata: names and display order.
-  bool first = true;
+// Emits one recorder's track metadata and events with all thread ids offset
+// by `tid_base` (0 for the single-recorder export). `first` threads the
+// JSON-array comma state across recorders.
+void EmitRecorder(const TraceRecorder& rec, size_t tid_base, bool* first_io,
+                  std::ostream& out) {
+  bool first = *first_io;
   const auto& tracks = rec.tracks();
   for (size_t t = 0; t < tracks.size(); ++t) {
     if (!first) {
       out << ",\n";
     }
     first = false;
-    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid_base + t
         << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << JsonEscape(tracks[t].name)
         << "\"}},\n";
-    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid_base + t
         << ",\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":" << tracks[t].sort_rank
         << "}}";
   }
@@ -70,7 +69,7 @@ bool WriteChromeTrace(const TraceRecorder& rec, std::ostream& out) {
     }
     first = false;
     const std::string name = JsonEscape(rec.NameOf(e.name));
-    out << "{\"pid\":1,\"tid\":" << e.track << ",\"ts\":";
+    out << "{\"pid\":1,\"tid\":" << tid_base + e.track << ",\"ts\":";
     PrintMicros(out, e.ts);
     switch (e.type) {
       case TraceEventType::kSpanBegin:
@@ -110,7 +109,31 @@ bool WriteChromeTrace(const TraceRecorder& rec, std::ostream& out) {
     }
     out << "}";
   });
+  *first_io = first;
+}
 
+}  // namespace
+
+bool WriteChromeTrace(const TraceRecorder& rec, std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  EmitRecorder(rec, 0, &first, out);
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+bool WriteChromeTraceMerged(const std::vector<const TraceRecorder*>& recs,
+                            std::ostream& out) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  size_t tid_base = 0;
+  for (const TraceRecorder* rec : recs) {
+    if (rec == nullptr) {
+      continue;
+    }
+    EmitRecorder(*rec, tid_base, &first, out);
+    tid_base += rec->tracks().size();
+  }
   out << "\n]}\n";
   return static_cast<bool>(out);
 }

@@ -18,6 +18,7 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "src/trace/recorder.h"
 
@@ -25,6 +26,17 @@ namespace newtos {
 
 // Writes the JSON document to `out`. Returns false if the stream failed.
 bool WriteChromeTrace(const TraceRecorder& rec, std::ostream& out);
+
+// Merges several recorders into one timeline. The live backend records one
+// single-threaded recorder per server thread (the recorder itself is not
+// thread-safe, the per-actor split is what makes live tracing race-free);
+// this joins them post-join into a single process whose thread ids are
+// offset per recorder, so cross-recorder async pairs (an AsyncBegin on the
+// app's recorder matched by an AsyncEnd on the peer's) correlate by id in
+// the viewer. Null entries are skipped. Timestamps are emitted as recorded:
+// the recorders must share a clock (see RuntimeClock's captured epoch).
+bool WriteChromeTraceMerged(const std::vector<const TraceRecorder*>& recs,
+                            std::ostream& out);
 
 // Writes to `path` with an error-checked flush. Returns false on any I/O
 // failure (open, write, or flush).

@@ -1,0 +1,9 @@
+// Lint fixture: a std::chrono use in model code. Host-time primitives
+// (the word chrono in this comment must not fire — comments are blanked)
+// belong to src/runtime/clock.h; model code takes SimTime. Exactly one
+// code occurrence below, so the fixture yields exactly one diagnostic.
+#include <thread>
+
+void NapMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}

@@ -1,7 +1,11 @@
-// Lint fixture: one steady_clock read. The word in this comment
-// (steady_clock) must not fire — comments are blanked before matching.
-#include <chrono>
+// Lint fixture: one gettimeofday read. The word in this comment
+// (gettimeofday) must not fire — comments are blanked before matching.
+// (steady_clock would also trip runtime-clock via its chrono spelling; this
+// fixture must trip wall-clock alone.)
+#include <sys/time.h>
 
-long long HostNanos() {
-  return std::chrono::steady_clock::now().time_since_epoch().count();
+long long HostMicros() {
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  return tv.tv_sec * 1000000LL + tv.tv_usec;
 }

@@ -36,6 +36,7 @@ Config AllRulesConfig() {
       "[rule.banned-deque]\npaths = [\"fixtures/\"]\n"
       "[rule.map-iteration]\npaths = [\"fixtures/\"]\n"
       "[rule.wall-clock]\npaths = [\"fixtures/\"]\n"
+      "[rule.runtime-clock]\npaths = [\"fixtures/\"]\n"
       "[rule.nondet-source]\npaths = [\"fixtures/\"]\n"
       "[rule.ptr-key-order]\npaths = [\"fixtures/\"]\n"
       "[rule.server-handle]\npaths = [\"fixtures/\"]\n"
@@ -83,6 +84,7 @@ INSTANTIATE_TEST_SUITE_P(
                       RuleCase{"banned_deque.cc", "banned-deque"},
                       RuleCase{"map_iteration.cc", "map-iteration"},
                       RuleCase{"wall_clock.cc", "wall-clock"},
+                      RuleCase{"runtime_clock.cc", "runtime-clock"},
                       RuleCase{"nondet_source.cc", "nondet-source"},
                       RuleCase{"ptr_key_order.cc", "ptr-key-order"},
                       RuleCase{"server_handle.h", "server-handle"},

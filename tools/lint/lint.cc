@@ -268,6 +268,7 @@ class Linter {
                                       "std::deque churns chunk allocations; use RingDeque");
     if (On("map-iteration")) CheckMapIteration();
     if (On("wall-clock")) CheckWallClock();
+    if (On("runtime-clock")) CheckRuntimeClock();
     if (On("nondet-source")) CheckNondetSource();
     if (On("ptr-key-order")) CheckPtrKeyOrder();
     if (On("server-handle")) CheckServerHandle();
@@ -437,6 +438,25 @@ class Linter {
         if (FindWord(file_.code[l], banned) != std::string::npos) {
           Report("wall-clock", static_cast<int>(l + 1),
                  std::string(banned) + " reads the host clock; model code uses SimTime only");
+        }
+      }
+    }
+  }
+
+  // runtime-clock: host-time primitives are the runtime backend's monopoly.
+  // wall-clock already bans the raw clock reads in model code; this rule adds
+  // the std::chrono surface and the sleep/timespec plumbing, so the sim's
+  // wall-clock ban survives the live backend's existence — new code either
+  // takes SimTime or goes through RuntimeClock (src/runtime/clock.h).
+  void CheckRuntimeClock() {
+    for (const char* banned : {"chrono", "clock_gettime", "CLOCK_MONOTONIC",
+                               "CLOCK_REALTIME", "timespec_get", "nanosleep"}) {
+      for (size_t l = 0; l < file_.code.size(); ++l) {
+        if (FindWord(file_.code[l], banned) != std::string::npos) {
+          Report("runtime-clock", static_cast<int>(l + 1),
+                 std::string(banned) +
+                     " is a host-time primitive; outside src/runtime use SimTime or go "
+                     "through RuntimeClock (src/runtime/clock.h)");
         }
       }
     }

@@ -23,6 +23,10 @@
 //                    replayable quantity; ordered maps need a reason)
 //   wall-clock       steady_clock / high_resolution_clock / gettimeofday /
 //                    clock_gettime in model code (simulated time only)
+//   runtime-clock    std::chrono / clock_gettime / CLOCK_* / timespec_get /
+//                    nanosleep outside src/runtime — the live backend owns
+//                    host time behind RuntimeClock (src/runtime/clock.h);
+//                    everything else takes SimTime or a RuntimeClock
 //   nondet-source    system_clock, time(), localtime, rand(), srand(),
 //                    std::random_device — nondeterminism sources anywhere
 //   ptr-key-order    std::map / std::set keyed by a pointer (address-order
