@@ -47,19 +47,19 @@ Cycles RestartCyclesFor(const StackConfig& config, const std::string& server_nam
   return config.ip.restart_cycles;
 }
 
-uint64_t MixSeed(uint64_t seed, const CampaignFault& fault, FreqKhz freq) {
+std::string GhzCell(FreqKhz f) {
+  return Table::Num(static_cast<double>(f) / 1e6, 1);
+}
+
+}  // namespace
+
+uint64_t CampaignCellSeed(uint64_t seed, const CampaignFault& fault, FreqKhz freq) {
   uint64_t h = seed ^ (static_cast<uint64_t>(fault.cls) + 1) * 0x9e3779b97f4a7c15ULL;
   for (char c : fault.target) {
     h = (h ^ static_cast<uint8_t>(c)) * 1099511628211ULL;
   }
   return h ^ static_cast<uint64_t>(freq);
 }
-
-std::string GhzCell(FreqKhz f) {
-  return Table::Num(static_cast<double>(f) / 1e6, 1);
-}
-
-}  // namespace
 
 CampaignRunner::CampaignRunner(const CampaignOptions& options) : options_(options) {
   if (options_.faults.empty()) {
@@ -122,7 +122,7 @@ CampaignCell CampaignRunner::RunCell(const CampaignFault& fault, FreqKhz stack_f
   // The cell's single fault, armed after Watch() so the injector can see and
   // skip the watchdog channels.
   FaultPlan plan;
-  plan.seed = MixSeed(options_.seed, fault, stack_freq);
+  plan.seed = CampaignCellSeed(options_.seed, fault, stack_freq);
   FaultSpec spec;
   spec.cls = fault.cls;
   spec.target = fault.target;
@@ -193,10 +193,10 @@ CampaignCell CampaignRunner::RunCell(const CampaignFault& fault, FreqKhz stack_f
   return cell;
 }
 
-Table CampaignRunner::ToTable() const {
+Table CampaignTable(const std::vector<CampaignCell>& cells) {
   Table t({"fault", "target", "stack_ghz", "injected", "detected", "recovered", "detect_ms",
            "recover_ms", "delivered_mb", "digest", "integrity", "progress", "verdict"});
-  for (const CampaignCell& c : cells_) {
+  for (const CampaignCell& c : cells) {
     const bool server_fault = IsServerFault(c.cls);
     std::ostringstream digest;
     digest << std::hex << c.digest;
@@ -218,6 +218,8 @@ Table CampaignRunner::ToTable() const {
   }
   return t;
 }
+
+Table CampaignRunner::ToTable() const { return CampaignTable(cells_); }
 
 std::string CampaignRunner::ToCsv() const {
   std::ostringstream oss;

@@ -38,6 +38,11 @@ struct CampaignFault {
 // The default sweep: every fault class, aimed at representative stages.
 std::vector<CampaignFault> DefaultFaultSpace();
 
+// The per-cell RNG seed: campaign seed mixed with the fault identity and the
+// cell's stack frequency. Shared with the scripted-scenario runner so a
+// single-fault .nsc script reproduces its campaign cell bit for bit.
+uint64_t CampaignCellSeed(uint64_t seed, const CampaignFault& fault, FreqKhz freq);
+
 struct CampaignOptions {
   uint64_t seed = 1;
   std::vector<FreqKhz> stack_freqs{3'600'000 * kKhz, 1'200'000 * kKhz};
@@ -59,6 +64,12 @@ struct CampaignOptions {
   // The fault space to sweep; empty selects DefaultFaultSpace().
   std::vector<CampaignFault> faults;
 };
+
+// The resilience-matrix formatting, shared by CampaignRunner::ToTable() and
+// the scripted-scenario campaign mode: identical cells must render identical
+// bytes for the scripts-vs-oracle CSV gate to mean anything.
+struct CampaignCell;
+Table CampaignTable(const std::vector<CampaignCell>& cells);
 
 struct CampaignCell {
   FaultClass cls = FaultClass::kChanDrop;

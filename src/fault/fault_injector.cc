@@ -87,7 +87,11 @@ void FaultInjector::InstallTap(SimChannel<Msg>* chan) {
       return {};  // the liveness plane stays clean
     }
     Counters& n = st->owner->counters_;
+    const SimTime now = st->owner->sim_->Now();
     for (const FaultSpec& s : st->specs) {
+      if (!FaultActiveAt(s, now)) {
+        continue;
+      }
       switch (s.cls) {
         case FaultClass::kChanCorrupt:
           // Corruption mutates in place and still delivers; the RX path's
@@ -142,7 +146,11 @@ void FaultInjector::ArmWire(Nic* nic) {
 
   nic->SetWireFault([st](Packet& p) {
     bool flipped = false;
+    const SimTime now = st->owner->sim_->Now();
     for (const FaultSpec& s : st->specs) {
+      if (!FaultActiveAt(s, now)) {
+        continue;
+      }
       if (st->rng.Bernoulli(s.probability)) {
         p.corrupt |= st->rng.Bernoulli(kIpHeaderFlipShare) ? kCorruptIp : kCorruptL4;
         flipped = true;

@@ -67,9 +67,22 @@ struct FaultSpec {
   // Server faults: absolute simulation time of the one-shot trigger.
   SimTime at = 0;
 
+  // Channel/wire faults: active window [from, until); zero = unbounded on
+  // that side. The window gates the Bernoulli trial itself — a dormant spec
+  // consumes no RNG draws — so the default (0, 0) spec draws on every
+  // message exactly as before windows existed, keeping campaign RNG streams
+  // bit-identical.
+  SimTime from = 0;
+  SimTime until = 0;
+
   // kServerLivelock: busy-spin slice re-armed until the next crash.
   Cycles livelock_slice = 200'000;
 };
+
+// True when `spec` is active at `now` per its [from, until) window.
+inline bool FaultActiveAt(const FaultSpec& spec, SimTime now) {
+  return (spec.from == 0 || now >= spec.from) && (spec.until == 0 || now < spec.until);
+}
 
 struct FaultPlan {
   uint64_t seed = 1;

@@ -83,7 +83,8 @@ void Nic::StartNextTx() {
       }
       return;
     }
-    sim_->Schedule(propagation_, [peer = peer_, p = std::move(p)]() mutable {
+    const SimTime shaped = link_shaper_ ? link_shaper_(*p) : 0;
+    sim_->Schedule(propagation_ + shaped, [peer = peer_, p = std::move(p)]() mutable {
       peer->DeliverFromWire(std::move(p));
     });
   });

@@ -130,6 +130,15 @@ class Nic {
   // true to count the frame as corrupted. Unset = fault-free wire.
   void SetWireFault(std::function<bool(Packet&)> fn) { wire_fault_ = std::move(fn); }
 
+  // --- Link shaping ---
+  // Returns extra one-way wire delay for a frame, added on top of the link's
+  // propagation (point-to-point links only; a fabric owns its own timing).
+  // Frames given different extra delays can overtake each other in flight —
+  // the reorder-window model the scripted lossy-WAN scenarios use. The hook
+  // runs on the *sending* NIC as the frame leaves the adapter; keep it
+  // deterministic (seeded Rng) and allocation-free. Unset = no shaping.
+  void SetLinkShaper(std::function<SimTime(const Packet&)> fn) { link_shaper_ = std::move(fn); }
+
   // --- Capture tap ---
   enum class TapDirection { kTx, kRx };
   // Observes every frame leaving (kTx, at transmit start) and arriving
@@ -159,6 +168,7 @@ class Nic {
   std::function<void()> rx_notify_;
   std::function<void(TapDirection, const PacketPtr&)> tap_;
   std::function<bool(Packet&)> wire_fault_;
+  std::function<SimTime(const Packet&)> link_shaper_;
 
   Stats stats_;
   NicTraceHooks trace_;

@@ -1,0 +1,48 @@
+// Parser/compiler for .nsc scenario scripts (grammar: src/scenario/script.h,
+// rationale: DESIGN.md §11).
+//
+// Zero dependencies, two passes in one sweep: each line is tokenized, the
+// directive is dispatched, and its arguments are resolved to picoseconds /
+// kHz / bytes / compiled FaultSpecs on the spot. Parsing either yields a
+// fully-resolved Script or stops at the FIRST malformed directive with a
+// ParseError carrying file:line:col, the offending token, and a one-line
+// hint — never a partial script, never a silent acceptance.
+
+#ifndef SRC_SCENARIO_PARSER_H_
+#define SRC_SCENARIO_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/scenario/script.h"
+
+namespace newtos::scenario {
+
+struct ParseError {
+  std::string file;     // as given to the parser; "" for in-memory text
+  int line = 0;         // 1-based
+  int col = 0;          // 1-based column of the offending token
+  std::string token;    // the offending token ("" at end of line)
+  std::string message;  // what is wrong
+  std::string hint;     // one line: what a correct directive looks like
+
+  // "file:line:col: error: <message> near '<token>'\n  hint: <hint>"
+  std::string Format() const;
+};
+
+// Parses `text` into `*out`. Returns false and fills `*err` on the first
+// malformed directive; `*out` is then unspecified. `file` is used only for
+// diagnostics and Script::path.
+bool ParseScript(const std::string& text, const std::string& file, Script* out, ParseError* err);
+
+// Reads and parses one .nsc file.
+bool LoadScript(const std::string& path, Script* out, ParseError* err);
+
+// Loads every *.nsc under `dir` (non-recursive), sorted by filename so a
+// numbered directory sweeps in a stable order. Returns false on the first
+// unreadable or malformed script.
+bool LoadScriptDir(const std::string& dir, std::vector<Script>* out, ParseError* err);
+
+}  // namespace newtos::scenario
+
+#endif  // SRC_SCENARIO_PARSER_H_

@@ -1,0 +1,112 @@
+// ScenarioRunner: arms a compiled Script against a testbed and judges it.
+//
+// The p2p path mirrors CampaignRunner::RunCell's construction order exactly —
+// same testbed, same steering, same watchdog wiring, same fault-plan seeding
+// (CampaignCellSeed over the first inject) — so a script that states only
+// what a campaign cell hard-codes reproduces that cell's event schedule bit
+// for bit. tests/scenario_campaign_test.cc holds the tab7 scripts to that:
+// the script-driven resilience CSV must be byte-identical to the hand-coded
+// campaign's. Everything a script can add beyond a campaign cell (link
+// shaping, DVFS steps, tracing, extra expects) is armed only when the script
+// asks for it, so unused features contribute zero simulation events.
+//
+// Steady-state allocation: every piece of per-event machinery the runner arms
+// (fault taps, the link shaper, integrity/progress hooks, trace recording) is
+// allocation-free per event; all script state is resolved before the sim
+// starts. tools/scenario's --alloc-gate pins the whole interpreter to
+// 0 allocs/event over the measurement window.
+
+#ifndef SRC_SCENARIO_RUNNER_H_
+#define SRC_SCENARIO_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fault/campaign.h"
+#include "src/metrics/table.h"
+#include "src/scenario/script.h"
+#include "src/trace/recorder.h"
+
+namespace newtos::scenario {
+
+// One evaluated `expect` line.
+struct ExpectResult {
+  int line = 0;       // script line of the expect directive
+  bool pass = false;
+  std::string what;   // human-readable check + observed value
+};
+
+// Everything one (script, frequency) run produced.
+struct ScenarioOutcome {
+  std::string name;
+  FreqKhz freq = 0;
+
+  // Judged exactly as a campaign cell (shared verdict/formatting logic).
+  CampaignCell cell;
+
+  // (name, value) for every kCounterNames entry, in that order.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<ExpectResult> expects;
+
+  // All expects passed (a script with no expects falls back to the campaign
+  // cell verdict).
+  bool pass = false;
+
+  // Events processed inside the measurement window (between warmup and end
+  // of run) — the denominator for the allocs-per-event gate.
+  uint64_t window_events = 0;
+
+  uint64_t Counter(const std::string& counter_name) const;
+};
+
+struct RunnerOptions {
+  // >0: overrides Script::lanes for incast scenarios (lane-invariance tests).
+  int lanes_override = 0;
+  // Trace even when the script says `trace off` (latency-decomposition tool).
+  bool force_trace = false;
+  // Host-side hooks around the measurement window (after WarmUp returns /
+  // after RunFor returns). They run while the sim is paused and schedule
+  // nothing, so arming them cannot perturb the event schedule.
+  std::function<void()> on_window_begin;
+  std::function<void()> on_window_end;
+  // Called after judging, while the trace recorder is still alive; only
+  // fires for traced runs. The recorder's ring holds the run's async hops —
+  // feed it to LatencyDecomposer.
+  std::function<void(const TraceRecorder&)> on_trace;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(RunnerOptions options = {});
+
+  // Runs `script` at one frequency point.
+  ScenarioOutcome RunOne(const Script& script, FreqKhz freq);
+
+  // Runs `script` at every frequency in Script::freqs.
+  std::vector<ScenarioOutcome> RunScript(const Script& script);
+
+  // Runs every script at each of its frequencies — the pass/fail matrix.
+  std::vector<ScenarioOutcome> RunAll(const std::vector<Script>& scripts);
+
+  // Campaign iteration order — frequency OUTER, script INNER, using the
+  // FIRST script's frequency list (the tab7 scripts all declare the same
+  // sweep) — matching CampaignRunner::Run so CampaignTable(cells) is
+  // comparable byte for byte.
+  std::vector<CampaignCell> RunCampaignOrder(const std::vector<Script>& scripts);
+
+ private:
+  ScenarioOutcome RunP2p(const Script& script, FreqKhz freq);
+  ScenarioOutcome RunIncast(const Script& script, FreqKhz freq);
+
+  RunnerOptions options_;
+};
+
+// Pass/fail matrix over outcomes: one row per (scenario, frequency) with the
+// delivered volume, digest, expect tally and verdict.
+Table ScenarioMatrix(const std::vector<ScenarioOutcome>& outcomes);
+
+}  // namespace newtos::scenario
+
+#endif  // SRC_SCENARIO_RUNNER_H_

@@ -1,0 +1,136 @@
+#include "src/trace/latency_decomp.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace newtos {
+
+namespace {
+
+constexpr double kCdfQuantiles[] = {0.01, 0.05, 0.10, 0.25, 0.50, 0.75,
+                                    0.90, 0.95, 0.99, 0.999, 1.0};
+
+double Us(SimTime t) { return static_cast<double>(t) / kMicrosecond; }
+
+}  // namespace
+
+void LatencyDecomposer::CloseEpisode(Episode* ep) {
+  if (ep->first_begin >= 0 && ep->last_end > ep->first_begin) {
+    e2e_.Record(ep->last_end - ep->first_begin);
+  }
+  ep->first_begin = -1;
+  ep->last_end = -1;
+  ep->visited.clear();
+}
+
+void LatencyDecomposer::Consume(const TraceRecorder& rec) {
+  std::unordered_map<uint64_t, Episode> episodes;
+  rec.ForEach([&](const TraceEvent& e) {
+    if (e.type != TraceEventType::kAsyncBegin && e.type != TraceEventType::kAsyncEnd) {
+      return;
+    }
+    const uint32_t track = e.track;
+    if (track >= stages_.size()) {
+      stages_.resize(track + 1);
+      open_.resize(track + 1);
+    }
+    if (stages_[track].name.empty()) {
+      stages_[track].name = rec.TrackOf(e.track).name;
+    }
+    Episode& ep = episodes[e.flow];
+    if (e.type == TraceEventType::kAsyncBegin) {
+      // A hop id re-entering a stage it already visited is the packet being
+      // recycled for its next traversal: close the episode it just finished.
+      if (std::find(ep.visited.begin(), ep.visited.end(), track) != ep.visited.end()) {
+        CloseEpisode(&ep);
+      }
+      ep.visited.push_back(track);
+      if (ep.first_begin < 0) {
+        ep.first_begin = e.ts;
+      }
+      open_[track].push_back({e.flow, e.ts});
+      return;
+    }
+    // AsyncEnd: match the oldest open begin with this pair id on this track.
+    auto& open = open_[track];
+    auto it = open.begin();
+    while (it != open.end() && it->pair != e.flow) {
+      ++it;
+    }
+    if (it == open.end()) {
+      ++unmatched_;  // its begin fell off the ring (or predates tracing)
+      return;
+    }
+    stages_[track].residency.Record(e.ts - it->begin);
+    ++hops_;
+    open.erase(it);
+    ep.last_end = e.ts;
+  });
+  for (auto& [pair, ep] : episodes) {
+    CloseEpisode(&ep);  // histogram folds are commutative; map order is fine
+  }
+  for (auto& open : open_) {
+    unmatched_ += open.size();
+    open.clear();
+  }
+}
+
+Table LatencyDecomposer::StageTable() const {
+  Table t({"stage", "count", "mean_us", "p50_us", "p95_us", "p99_us", "share_pct"});
+  double total_ns = 0.0;
+  for (const Stage& s : stages_) {
+    total_ns += s.residency.MeanNs() * static_cast<double>(s.residency.count());
+  }
+  for (const Stage& s : stages_) {
+    if (s.residency.count() == 0) {
+      continue;
+    }
+    const double stage_ns = s.residency.MeanNs() * static_cast<double>(s.residency.count());
+    t.AddRow({
+        s.name,
+        Table::Int(static_cast<int64_t>(s.residency.count())),
+        Table::Num(s.residency.MeanNs() / 1e3, 3),
+        Table::Num(Us(s.residency.P50()), 3),
+        Table::Num(Us(s.residency.P95()), 3),
+        Table::Num(Us(s.residency.P99()), 3),
+        total_ns > 0 ? Table::Pct(stage_ns / total_ns) : "-",
+    });
+  }
+  t.AddRow({
+      "e2e",
+      Table::Int(static_cast<int64_t>(e2e_.count())),
+      Table::Num(e2e_.MeanNs() / 1e3, 3),
+      Table::Num(Us(e2e_.P50()), 3),
+      Table::Num(Us(e2e_.P95()), 3),
+      Table::Num(Us(e2e_.P99()), 3),
+      "-",
+  });
+  return t;
+}
+
+Table LatencyDecomposer::CdfTable() const {
+  Table t({"stage", "quantile", "us"});
+  auto add = [&t](const std::string& name, const LatencyHistogram& h) {
+    if (h.count() == 0) {
+      return;
+    }
+    for (double q : kCdfQuantiles) {
+      t.AddRow({name, Table::Num(q, 3), Table::Num(Us(h.Quantile(q)), 3)});
+    }
+  };
+  for (const Stage& s : stages_) {
+    add(s.name, s.residency);
+  }
+  add("e2e", e2e_);
+  return t;
+}
+
+bool LatencyDecomposer::WriteStageCsv(const std::string& path) const {
+  return StageTable().WriteCsvFile(path);
+}
+
+bool LatencyDecomposer::WriteCdfCsv(const std::string& path) const {
+  return CdfTable().WriteCsvFile(path);
+}
+
+}  // namespace newtos

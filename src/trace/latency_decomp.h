@@ -1,0 +1,86 @@
+// Per-packet latency decomposition from trace-recorder async hops.
+//
+// Every traced channel records an async begin when a message enters its ring
+// and the matching end when the consumer dequeues it, paired by the
+// message's hop id and placed on the channel's own track (sim_channel.h,
+// stack_trace.cc). A packet flowing driver -> ip -> tcp -> app therefore
+// leaves one (begin, end) residency interval per stage, all sharing one hop
+// id. This module replays those events into:
+//
+//   * a per-stage LatencyHistogram of ring residencies (where does a packet
+//     wait, and for how long — the delay_analysis view), and
+//   * an end-to-end histogram over traversal episodes: first begin to last
+//     end per hop id. Hop ids are recycled when a packet is reused, so an id
+//     re-entering a stage it already visited closes the current episode and
+//     opens the next one — correct for the linear pipeline the stack is.
+//
+// This is post-run analysis over a recorder that already holds the events;
+// it allocates freely and never touches the simulation. Stage iteration is
+// track-id ordered, so tables and CSVs are deterministic for a deterministic
+// trace.
+
+#ifndef SRC_TRACE_LATENCY_DECOMP_H_
+#define SRC_TRACE_LATENCY_DECOMP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/metrics/histogram.h"
+#include "src/metrics/table.h"
+#include "src/trace/recorder.h"
+
+namespace newtos {
+
+class LatencyDecomposer {
+ public:
+  struct Stage {
+    std::string name;  // the channel track's name, e.g. "ip/in"
+    LatencyHistogram residency;
+  };
+
+  // Replays `rec`'s held async events (oldest first). May be called for
+  // several recorders; episodes do not span recorders.
+  void Consume(const TraceRecorder& rec);
+
+  // Stages that saw at least one completed hop, in track-id order.
+  const std::vector<Stage>& stages() const { return stages_; }
+  const LatencyHistogram& e2e() const { return e2e_; }
+
+  uint64_t hops() const { return hops_; }            // completed stage hops
+  uint64_t episodes() const { return e2e_.count(); }  // completed traversals
+  uint64_t unmatched() const { return unmatched_; }   // ends with no begin
+
+  // One row per stage (plus an "e2e" summary row): count, mean and tail
+  // quantiles in microseconds, and each stage's share of summed residency.
+  Table StageTable() const;
+
+  // Long-form CDF: one row per (stage, quantile) pair — the shape gnuplot
+  // and pandas both take directly.
+  Table CdfTable() const;
+
+  bool WriteStageCsv(const std::string& path) const;
+  bool WriteCdfCsv(const std::string& path) const;
+
+ private:
+  struct Open {
+    uint64_t pair = 0;
+    SimTime begin = 0;
+  };
+  struct Episode {
+    SimTime first_begin = -1;
+    SimTime last_end = -1;
+    std::vector<uint32_t> visited;  // track ids seen this traversal
+  };
+
+  void CloseEpisode(Episode* ep);
+
+  std::vector<Stage> stages_;          // indexed by track id (sparse names)
+  std::vector<std::vector<Open>> open_;  // per track: hops awaiting their end
+  LatencyHistogram e2e_;
+  uint64_t hops_ = 0;
+  uint64_t unmatched_ = 0;
+};
+
+}  // namespace newtos
+
+#endif  // SRC_TRACE_LATENCY_DECOMP_H_

@@ -1,0 +1,20 @@
+// Lint fixture: one magic duration (numeric literal * time-unit constant) in
+// scenario-lowering code. Near-misses that must NOT fire: division by a unit,
+// a variable scaled by a unit, the pattern inside this comment (blanked), and
+// the pattern inside a string literal.
+
+#include <cstdint>
+
+using SimTime = int64_t;
+inline constexpr SimTime kMicrosecond = 1000000;
+inline constexpr SimTime kMillisecond = 1000000000;
+
+SimTime Lower(SimTime budget, SimTime scale) {
+  // 30 * kMillisecond in a comment is blanked before matching.
+  const SimTime millis = budget / kMillisecond;
+  const SimTime scaled = scale * kMicrosecond;
+  const SimTime deadline = 30 * kMillisecond;  // the one violation
+  const char* label = "5 * kMillisecond";
+  (void)label;
+  return millis + scaled + deadline;
+}

@@ -42,7 +42,8 @@ Config AllRulesConfig() {
       "[rule.server-handle]\npaths = [\"fixtures/\"]\n"
       "[rule.ring-pow2]\npaths = [\"fixtures/\"]\n"
       "[rule.fabric-shared-state]\npaths = [\"fixtures/\"]\n"
-      "[rule.flow-timer]\npaths = [\"fixtures/\"]\n";
+      "[rule.flow-timer]\npaths = [\"fixtures/\"]\n"
+      "[rule.scenario-literals]\npaths = [\"fixtures/\"]\n";
   Config config;
   std::string error;
   EXPECT_TRUE(ParseConfig(kToml, &config, &error)) << error;
@@ -90,7 +91,8 @@ INSTANTIATE_TEST_SUITE_P(
                       RuleCase{"server_handle.h", "server-handle"},
                       RuleCase{"ring_pow2.cc", "ring-pow2"},
                       RuleCase{"fabric_static.cc", "fabric-shared-state"},
-                      RuleCase{"flow_timer.cc", "flow-timer"}),
+                      RuleCase{"flow_timer.cc", "flow-timer"},
+                      RuleCase{"scenario_literals.cc", "scenario-literals"}),
     [](const ::testing::TestParamInfo<RuleCase>& param) {
       std::string name = param.param.rule;
       for (char& ch : name) {

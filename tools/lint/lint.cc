@@ -275,6 +275,7 @@ class Linter {
     if (On("ring-pow2")) CheckRingPow2();
     if (On("fabric-shared-state")) CheckFabricSharedState();
     if (On("flow-timer")) CheckFlowTimer();
+    if (On("scenario-literals")) CheckScenarioLiterals();
   }
 
  private:
@@ -673,6 +674,60 @@ class Linter {
                    "housekeeping timers go on the owning host's TimerWheel");
           }
           pos += std::string(fn).size();
+        }
+      }
+    }
+  }
+
+  // --- scenario-literals: a numeric literal multiplied onto a time-unit
+  // constant in scenario-lowering code. The .nsc compiler turns script text
+  // into engine plans, and every magic duration it bakes in (`30 *
+  // kMillisecond`) is a number an auditor cannot trace back to a script
+  // knob or a campaign default. Scenario code names its constants in
+  // src/scenario/defaults.h; arithmetic *on* units (division to format, a
+  // variable scaled by a unit) stays legal.
+  void CheckScenarioLiterals() {
+    for (const char* unit :
+         {"kPicosecond", "kNanosecond", "kMicrosecond", "kMillisecond", "kSecond"}) {
+      const size_t ulen = std::string(unit).size();
+      for (size_t l = 0; l < file_.code.size(); ++l) {
+        const std::string& line = file_.code[l];
+        size_t pos = 0;
+        while ((pos = FindWord(line, unit, pos)) != std::string::npos) {
+          bool literal = false;
+          // `<literal> * kUnit`: walk left over spaces to a '*', then across
+          // the token before it; a token starting with a digit is a literal
+          // (covers 100, 0x40, 2'000, 0.5, 30ULL — identifiers can't start
+          // with a digit).
+          size_t b = pos;
+          while (b > 0 && std::isspace(static_cast<unsigned char>(line[b - 1]))) --b;
+          if (b > 0 && line[b - 1] == '*') {
+            --b;
+            while (b > 0 && std::isspace(static_cast<unsigned char>(line[b - 1]))) --b;
+            const size_t tok_end = b;
+            while (b > 0 && (std::isalnum(static_cast<unsigned char>(line[b - 1])) ||
+                             line[b - 1] == '\'' || line[b - 1] == '.')) {
+              --b;
+            }
+            literal =
+                tok_end > b && std::isdigit(static_cast<unsigned char>(line[b])) != 0;
+          }
+          // `kUnit * <literal>`: same pattern, commuted.
+          if (!literal) {
+            size_t a = SkipSpaces(line, pos + ulen);
+            if (a < line.size() && line[a] == '*') {
+              a = SkipSpaces(line, a + 1);
+              literal =
+                  a < line.size() && std::isdigit(static_cast<unsigned char>(line[a])) != 0;
+            }
+          }
+          if (literal) {
+            Report("scenario-literals", static_cast<int>(l + 1),
+                   std::string("magic duration `N * ") + unit +
+                       "` in scenario-lowering code; name the constant in "
+                       "src/scenario/defaults.h so scripts and defaults stay auditable");
+          }
+          pos += ulen;
         }
       }
     }

@@ -41,6 +41,11 @@
 //                    the TCP/OS layers — flow and housekeeping timers must
 //                    live on the owning host's TimerWheel, which keeps one
 //                    pending event per wheel instead of one per flow
+//   scenario-literals  a numeric literal multiplied onto a time-unit
+//                    constant (`30 * kMillisecond`) in scenario-lowering
+//                    code — every duration the .nsc compiler bakes in must
+//                    be a named constant in src/scenario/defaults.h, so the
+//                    script surface and the campaign oracle stay auditable
 
 #ifndef TOOLS_LINT_LINT_H_
 #define TOOLS_LINT_LINT_H_
