@@ -41,6 +41,17 @@ inline constexpr size_t kCacheLineBytes = std::hardware_destructive_interference
 inline constexpr size_t kCacheLineBytes = 64;
 #endif
 
+#if NEWTOS_CHECKERS
+// The calling thread's SPSC identity token — the value the ring's first-touch
+// check binds to each side. A thread records this for itself so post-join
+// audits can map a ring's bound producer_token()/consumer_token() back to a
+// named role (the live stack's wiring export does exactly that). Never 0, so
+// 0 stays the "side never touched" sentinel.
+inline uint64_t CurrentSpscThreadToken() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+}
+#endif
+
 template <typename T>
 class SpscRing {
   static_assert(std::is_nothrow_move_constructible_v<T>,
@@ -177,6 +188,15 @@ class SpscRing {
     return check_state_.check_violations.load(std::memory_order_relaxed);
   }
 
+  // Bound side owners (0 = side never touched). Read post-join, when the
+  // worker threads are gone and the bindings are final.
+  uint64_t producer_token() const {
+    return check_state_.producer_thread.load(std::memory_order_relaxed);
+  }
+  uint64_t consumer_token() const {
+    return check_state_.consumer_thread.load(std::memory_order_relaxed);
+  }
+
   // Forgets the side owners (e.g. between the single-threaded fill phase of
   // a test and its threaded phase). Call only while no other thread is
   // touching the ring.
@@ -234,9 +254,7 @@ class SpscRing {
   ConsumerCursor cons_;
 
 #if NEWTOS_CHECKERS
-  static uint64_t ThreadToken() {
-    return std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
-  }
+  static uint64_t ThreadToken() { return CurrentSpscThreadToken(); }
 
   void CheckSide(std::atomic<uint64_t>& owner) {
     const uint64_t self = ThreadToken();

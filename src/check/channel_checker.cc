@@ -1,5 +1,6 @@
 #include "src/check/channel_checker.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -40,6 +41,21 @@ void ChannelChecker::DeclareSharedProducers(const void* ring, std::string reason
   RingState& rs = StateFor(ring);
   rs.shared = true;
   rs.shared_reason = std::move(reason);
+}
+
+void ChannelChecker::BindConsumer(const void* ring, uint32_t actor) {
+  if (actor == 0) {
+    return;
+  }
+  RingState& rs = StateFor(ring);
+  if (rs.consumer == 0) {
+    rs.consumer = actor;
+  } else if (rs.consumer != actor) {
+    std::ostringstream os;
+    os << "ring is owned by consumer '" << ActorName(rs.consumer) << "' but '" << ActorName(actor)
+       << "' was bound as its consumer";
+    AddViolation(rs, kSecondConsumer, "second-consumer", os.str());
+  }
 }
 
 ChannelChecker::RingState& ChannelChecker::StateFor(const void* ring) {
@@ -85,6 +101,18 @@ void ChannelChecker::EraseLiveHop(RingState& rs, uint64_t hop) {
 void ChannelChecker::OnProducerPush(const void* ring, uint64_t seq, uint64_t hop) {
   RingState& rs = StateFor(ring);
   ++rs.pushes;
+  if (current_actor_ != 0) {
+    bool known = false;
+    for (const uint32_t p : rs.all_producers) {
+      if (p == current_actor_) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      rs.all_producers.push_back(current_actor_);
+    }
+  }
   if (!rs.shared && current_actor_ != 0) {
     if (rs.producer == 0) {
       rs.producer = current_actor_;
@@ -336,6 +364,70 @@ void ChannelChecker::Report(std::ostream& os) const {
   for (const Violation& v : violations_) {
     os << "  VIOLATION [" << v.rule << "] " << (v.ring.empty() ? "<trace>" : v.ring) << ": "
        << v.detail << "\n";
+  }
+}
+
+void ChannelChecker::WriteWiring(std::ostream& os) const {
+  // Merged by NAME across registrations: the equivalence gate runs several
+  // stack configurations through one checker, each re-creating its channels
+  // at fresh addresses, and the union over runs is what the static graph
+  // models. Walks ring_order_, not the address map, for a stable order.
+  struct Entry {
+    std::string name;
+    std::vector<std::string> consumers;
+    std::vector<std::string> producers;
+  };
+  std::vector<Entry> entries;
+  auto entry_for = [&entries](const std::string& name) -> Entry& {
+    for (Entry& e : entries) {
+      if (e.name == name) {
+        return e;
+      }
+    }
+    entries.push_back(Entry{name, {}, {}});
+    return entries.back();
+  };
+  auto add_unique = [](std::vector<std::string>& v, const std::string& s) {
+    for (const std::string& have : v) {
+      if (have == s) {
+        return;
+      }
+    }
+    v.push_back(s);
+  };
+  for (const void* ring : ring_order_) {
+    const auto it = rings_.find(ring);
+    if (it == rings_.end()) {
+      continue;
+    }
+    const RingState& rs = it->second;
+    if (rs.name == "<unregistered>") {
+      continue;
+    }
+    Entry& e = entry_for(rs.name);
+    if (rs.consumer != 0) {
+      add_unique(e.consumers, ActorName(rs.consumer));
+    }
+    for (const uint32_t p : rs.all_producers) {
+      add_unique(e.producers, ActorName(p));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  auto join = [](std::vector<std::string>& v) {
+    std::sort(v.begin(), v.end());
+    std::string out;
+    for (const std::string& s : v) {
+      if (!out.empty()) {
+        out += ',';
+      }
+      out += s;
+    }
+    return out;
+  };
+  for (Entry& e : entries) {
+    os << "ring " << e.name << " consumer=" << join(e.consumers)
+       << " producers=" << join(e.producers) << "\n";
   }
 }
 

@@ -78,6 +78,12 @@ class ChannelChecker {
   // shows up in Report() — shared rings are deviations, not defaults.
   void DeclareSharedProducers(const void* ring, std::string reason);
 
+  // Binds the consumer identity at wiring time (Server::EnableCheck calls
+  // this for every owned input). Popping already binds lazily; the explicit
+  // bind makes never-popped rings carry their consumer in WriteWiring(), and
+  // a second bind is the same second-consumer violation a foreign Pop is.
+  void BindConsumer(const void* ring, uint32_t actor);
+
   // Scopes the current actor identity (RAII; the sim is single-threaded, so
   // a plain save/restore is exact). Null checker is a no-op.
   class ScopedActor {
@@ -160,6 +166,17 @@ class ChannelChecker {
   uint64_t suppressed() const { return suppressed_; }
   void Report(std::ostream& os) const;
 
+  // Canonical observed-wiring text, one line per ring name:
+  //   ring <name> consumer=<actor> producers=<a1,a2>
+  // sorted by ring name, producers sorted and deduplicated. Rings are merged
+  // by NAME, not address: the wiring-equivalence gate runs several stack
+  // configurations through one checker, and each run re-creates channels at
+  // fresh addresses under the same names. Producers come from the full
+  // observed set (every non-anonymous pushing actor, shared rings included),
+  // so the output is exactly comparable with the statically extracted graph
+  // (tools/analyze WriteDesWiring).
+  void WriteWiring(std::ostream& os) const;
+
  private:
   struct RingState {
     std::string name;
@@ -167,6 +184,10 @@ class ChannelChecker {
     std::string shared_reason;
     uint32_t producer = 0;  // actor ids; 0 = not yet bound
     uint32_t consumer = 0;
+    // Every non-anonymous actor ever seen pushing, shared rings included —
+    // the identity check above stops at `producer`, but WriteWiring() needs
+    // the full producer set to compare against the static graph.
+    std::vector<uint32_t> all_producers;
     uint64_t last_push_seq = 0;
     uint64_t last_deliver_seq = 0;
     uint64_t pushes = 0;

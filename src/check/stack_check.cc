@@ -5,8 +5,6 @@
 
 namespace newtos {
 
-#if NEWTOS_CHECKERS
-
 namespace {
 
 bool EndsWith(std::string_view name, std::string_view suffix) {
@@ -14,8 +12,12 @@ bool EndsWith(std::string_view name, std::string_view suffix) {
          name.substr(name.size() - suffix.size()) == suffix;
 }
 
+}  // namespace
+
 // The stack's sanctioned deviations from strict SPSC. Everything not listed
-// here stays strict: one producer, one consumer, forever.
+// here stays strict: one producer, one consumer, forever. Defined outside the
+// NEWTOS_CHECKERS gate: the table is a fact about the stack's design, and the
+// analyzer-mirror test reads it in every build type.
 //
 //   ip/tx      <- every TCP shard and the UDP server emit TX segments
 //   */acks     <- every watched server acks heartbeats into the watchdog
@@ -24,7 +26,7 @@ bool EndsWith(std::string_view name, std::string_view suffix) {
 //                 gateway routing on their behalf)
 //   syscall/req<- every app funnels requests through the one gateway
 //   syscall/evt<- both L4 servers hand events back through the gateway
-const char* SharedReasonFor(std::string_view name) {
+const char* StackChecker::SharedReasonFor(std::string_view name) {
   if (name == "ip/tx") {
     return "every L4 server (TCP shards, UDP) emits TX segments into the one IP TX ring";
   }
@@ -46,7 +48,7 @@ const char* SharedReasonFor(std::string_view name) {
   return nullptr;
 }
 
-}  // namespace
+#if NEWTOS_CHECKERS
 
 void StackChecker::AttachServer(Server* server) {
   if (check_ == nullptr || server == nullptr) {

@@ -12,6 +12,8 @@
 #ifndef SRC_CHECK_STACK_CHECK_H_
 #define SRC_CHECK_STACK_CHECK_H_
 
+#include <string_view>
+
 #include "src/check/channel_checker.h"
 #include "src/os/server.h"
 #include "src/os/stack.h"
@@ -21,6 +23,11 @@ namespace newtos {
 class StackChecker {
  public:
   explicit StackChecker(ChannelChecker* check) : check_(check) {}
+
+  // The sanctioned shared-producer table (reason string, or nullptr for
+  // strictly-SPSC rings). Public and checker-independent so tests can assert
+  // the static analyzer's analyze.toml [[shared]] entries mirror it.
+  static const char* SharedReasonFor(std::string_view ring_name);
 
   // Attaches every system server and app of the stack. Call after the stack
   // (and its apps) are built, before traffic flows.

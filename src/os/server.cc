@@ -115,6 +115,9 @@ void Server::EnableCheck(ChannelChecker* check, uint32_t actor) {
   check_actor_ = actor;
   for (auto& ch : owned_inputs_) {
     ch->EnableCheck(check);
+    // Ownership of an input IS the consumer role: bind it at wiring time so
+    // even rings that never see traffic carry their consumer in the export.
+    check->BindConsumer(ch.get(), actor);
   }
 }
 #endif

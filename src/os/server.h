@@ -173,6 +173,14 @@ class Server {
   // protocols recover, exactly as with a full real ring).
   static bool Emit(Chan* out, Msg msg) { return out->Push(std::move(msg)); }
 
+#if NEWTOS_CHECKERS
+  // For subclasses that Emit from their own timer callbacks (outside the
+  // burst path, where the base class cannot scope the identity for them) —
+  // the watchdog's probe tick is the one case today.
+  ChannelChecker* check() const { return check_; }
+  uint32_t check_actor() const { return check_actor_; }
+#endif
+
  private:
   void NotifyIdleChange();
   WorkSource* PickSource();

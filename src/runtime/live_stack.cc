@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <optional>
+#include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "src/check/channel_checker.h"
 #include "src/os/stack.h"
 #include "src/runtime/clock.h"
+#include "src/runtime/live_wiring.h"
 
 namespace newtos {
 namespace {
@@ -36,6 +40,10 @@ bool ServiceWd(ServerContext& ctx, WdPort& wd, bool* wd_done) {
       RtMsg ack;
       ack.type = RtMsg::Type::kHeartbeatAck;
       ack.seq = m->seq;
+      // The one sanctioned spin: the watchdog always drains its ack rings and
+      // never blocks back on this server, so the wait is bounded (mirrored by
+      // the [[blocking]] entry in tools/analyze/analyze.toml).
+      // lint:allow(blocking-push): watchdog always drains acks; bounded wait
       while (!wd.out->TryPush(ack)) {
         if (ctx.StopRequested()) {
           return work;
@@ -459,19 +467,35 @@ LiveStackResult RunLiveFig2(const LiveStackConfig& config) {
     chans.push_back(make_chan(std::move(name), cap));
     return chans.back().get();
   };
+  // Data rings come from the canonical topology table (live_wiring.h): the
+  // row must exist and be flagged for this stack flavour, so the code cannot
+  // instantiate a ring the table (and the static analyzer reading it) does
+  // not know about.
+  auto add_spec = [&](std::string_view name) -> Chan* {
+    for (const LiveRingSpec& s : kLiveRingSpecs) {
+      if (name == s.name) {
+        assert((config.mini ? s.in_mini : s.in_full) &&
+               "live ring not declared for this stack flavour in live_wiring.h");
+        return add_chan(s.name, config.ring_capacity);
+      }
+    }
+    assert(false && "live ring missing from kLiveRingSpecs (live_wiring.h)");
+    return nullptr;
+  };
 
-  Chan* a2t = add_chan("app/tcp", config.ring_capacity);
-  Chan* t2down = add_chan(config.mini ? "tcp/peer" : "tcp/ip", config.ring_capacity);
-  Chan* i2p = config.mini ? nullptr : add_chan("ip/peer", config.ring_capacity);
-  Chan* p2up = add_chan(config.mini ? "peer/tcp" : "peer/ip", config.ring_capacity);
-  Chan* i2t = config.mini ? nullptr : add_chan("ip/tcp", config.ring_capacity);
+  Chan* a2t = add_spec("app/tcp");
+  Chan* t2down = add_spec(config.mini ? "tcp/peer" : "tcp/ip");
+  Chan* i2p = config.mini ? nullptr : add_spec("ip/peer");
+  Chan* p2up = add_spec(config.mini ? "peer/tcp" : "peer/ip");
+  Chan* i2t = config.mini ? nullptr : add_spec("ip/tcp");
 
   // Watchdog rings (full stack only): one heartbeat + one ack ring per
   // watched server, SPSC preserved — the watchdog is sole producer on every
   // /wd ring and sole consumer on every /ack ring.
   const std::vector<std::string> watched =
-      config.mini ? std::vector<std::string>{}
-                  : std::vector<std::string>{"app", "tcp", "ip", "peer", "udp"};
+      config.mini
+          ? std::vector<std::string>{}
+          : std::vector<std::string>(kLiveWatchedRoles, kLiveWatchedRoles + kLiveWatchedRoleCount);
   std::vector<Chan*> wd_tx;  // watchdog -> server
   std::vector<Chan*> wd_rx;  // server -> watchdog
   for (const std::string& w : watched) {
@@ -526,12 +550,28 @@ LiveStackResult RunLiveFig2(const LiveStackConfig& config) {
   };
 
   std::vector<ServerContext*> ctxs;
+#if NEWTOS_CHECKERS
+  // Each thread records its SPSC identity token under its role index before
+  // its body runs (distinct slots; read only after Join()), so the post-join
+  // audit can map each ring's first-touch owners back to role names.
+  std::vector<uint64_t> role_tokens(roles.size(), 0);
+  size_t next_role = 0;
+  auto finish = [&sh, &role_tokens, &next_role](auto body) {
+    const size_t idx = next_role++;
+    return [&sh, &role_tokens, idx, body = std::move(body)](ServerContext& ctx) {
+      role_tokens[idx] = CurrentSpscThreadToken();
+      body(ctx);
+      sh.exited.fetch_add(1, std::memory_order_release);
+    };
+  };
+#else
   auto finish = [&sh](auto body) {
     return [&sh, body = std::move(body)](ServerContext& ctx) {
       body(ctx);
       sh.exited.fetch_add(1, std::memory_order_release);
     };
   };
+#endif
 
   if (config.mini) {
     ctxs.push_back(&engine.Add("app", cpu_for(0), finish([&](ServerContext& ctx) {
@@ -639,6 +679,32 @@ LiveStackResult RunLiveFig2(const LiveStackConfig& config) {
     }
     result.rings.push_back(std::move(rs));
   }
+
+#if NEWTOS_CHECKERS
+  {
+    auto role_of = [&](uint64_t token) -> std::string {
+      for (size_t i = 0; i < roles.size(); ++i) {
+        if (token != 0 && role_tokens[i] == token) {
+          return roles[i];
+        }
+      }
+      return std::string();
+    };
+    std::vector<const Chan*> by_name;
+    by_name.reserve(chans.size());
+    for (const auto& c : chans) {
+      by_name.push_back(c.get());
+    }
+    std::sort(by_name.begin(), by_name.end(),
+              [](const Chan* a, const Chan* b) { return a->name() < b->name(); });
+    std::ostringstream os;
+    for (const Chan* c : by_name) {
+      os << "ring " << c->name() << " consumer=" << role_of(c->consumer_token())
+         << " producers=" << role_of(c->producer_token()) << "\n";
+    }
+    result.wiring = os.str();
+  }
+#endif
   return result;
 }
 

@@ -123,6 +123,13 @@ struct LiveStackResult {
   bool conservation_ok = false;   // every ring: pushes == pops, residue 0
   double wall_seconds = 0.0;
 
+  // Observed wiring in the canonical text format ("ring <name> consumer=<c>
+  // producers=<p>", sorted by ring name): each ring's first-touch thread
+  // tokens mapped back to role names. Empty when NEWTOS_CHECKERS is off, or
+  // for a side no thread ever touched. The wiring-equivalence gate compares
+  // this against the static table (src/runtime/live_wiring.h).
+  std::string wiring;
+
   LatencyHistogram latency;  // app-push -> peer-pop, per data segment
   std::vector<ThreadStats> threads;
   std::vector<LiveRingStats> rings;

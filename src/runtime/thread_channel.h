@@ -99,6 +99,14 @@ class ThreadChannel {
 #endif
   }
 
+#if NEWTOS_CHECKERS
+  // First-touch side owners from the ring's identity check (0 = never
+  // touched). Post-join, these map back to role names via the tokens each
+  // server thread recorded for itself — the observed-wiring export.
+  uint64_t producer_token() const { return ring_.producer_token(); }
+  uint64_t consumer_token() const { return ring_.consumer_token(); }
+#endif
+
  private:
   SpscRing<T> ring_;
 

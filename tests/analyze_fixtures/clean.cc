@@ -1,0 +1,48 @@
+// Fixture: a strictly-SPSC two-hop chain (source -> mid -> sink). Nothing to
+// waive, nothing blocks: zero diagnostics, and the canonical wiring text is
+// asserted verbatim. Never compiled; parsed by analyze_test.
+
+struct Chan {};
+
+class Server {
+ public:
+  Server(int sim, const char* name);
+  Chan* CreateInput(const char* chan, int capacity, int cost);
+  static bool Emit(Chan* out, int msg);
+};
+
+class SinkServer : public Server {
+ public:
+  explicit SinkServer(int sim) : Server(sim, "sink") { in_ = CreateInput("in", 32, 0); }
+  Chan* in() { return in_; }
+
+ private:
+  Chan* in_ = nullptr;
+};
+
+class MidServer : public Server {
+ public:
+  explicit MidServer(int sim) : Server(sim, "mid") { in_ = CreateInput("in", 32, 0); }
+  Chan* in() { return in_; }
+  void set_out(Chan* out) { out_ = out; }
+  void Handle() { Emit(out_, 1); }
+
+ private:
+  Chan* in_ = nullptr;
+  Chan* out_ = nullptr;
+};
+
+class SourceServer : public Server {
+ public:
+  explicit SourceServer(int sim) : Server(sim, "source") {}
+  void set_out(Chan* out) { out_ = out; }
+  void Handle() { Emit(out_, 1); }
+
+ private:
+  Chan* out_ = nullptr;
+};
+
+void Wire(SourceServer* source, MidServer* mid, SinkServer* sink) {
+  source->set_out(mid->in());
+  mid->set_out(sink->in());
+}

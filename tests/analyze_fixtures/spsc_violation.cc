@@ -1,0 +1,45 @@
+// Fixture: two roles emit into one ring with no [[shared]] waiver — exactly
+// one multi-producer violation. Never compiled; parsed by analyze_test.
+
+struct Chan {};
+
+class Server {
+ public:
+  Server(int sim, const char* name);
+  Chan* CreateInput(const char* chan, int capacity, int cost);
+  static bool Emit(Chan* out, int msg);
+};
+
+class RxServer : public Server {
+ public:
+  explicit RxServer(int sim) : Server(sim, "rx") { in_ = CreateInput("data", 64, 0); }
+  Chan* in() { return in_; }
+
+ private:
+  Chan* in_ = nullptr;
+};
+
+class AlphaServer : public Server {
+ public:
+  explicit AlphaServer(int sim) : Server(sim, "alpha") {}
+  void set_out(Chan* out) { out_ = out; }
+  void Handle() { Emit(out_, 1); }
+
+ private:
+  Chan* out_ = nullptr;
+};
+
+class BetaServer : public Server {
+ public:
+  explicit BetaServer(int sim) : Server(sim, "beta") {}
+  void set_out(Chan* out) { out_ = out; }
+  void Handle() { Emit(out_, 2); }
+
+ private:
+  Chan* out_ = nullptr;
+};
+
+void Wire(RxServer* rx, AlphaServer* alpha, BetaServer* beta) {
+  alpha->set_out(rx->in());
+  beta->set_out(rx->in());
+}

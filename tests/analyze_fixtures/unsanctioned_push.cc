@@ -1,0 +1,32 @@
+// Fixture: a busy-wait push loop with no [[blocking]] sanction — exactly one
+// blocking-push violation. The lookalikes below must NOT fire: a bounded
+// retry with a different shape, and a spin that appears only in a comment.
+// Never compiled; parsed by analyze_test.
+
+struct Ring {
+  bool TryPush(int value);
+  bool Push(int value);
+};
+
+void SpinForever(Ring& ring) {
+  int value = 7;
+  while (!ring.TryPush(value)) {
+  }
+}
+
+// Lookalike: `while (!ring.TryPush(v))` in a comment must not count.
+bool SingleAttempt(Ring& ring) {
+  int value = 9;
+  if (!ring.TryPush(value)) {
+    return false;
+  }
+  return true;
+}
+
+void BoundedDrain(Ring& ring) {
+  for (int i = 0; i < 4; ++i) {
+    if (ring.Push(i)) {
+      break;
+    }
+  }
+}

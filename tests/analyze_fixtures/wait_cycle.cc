@@ -1,0 +1,42 @@
+// Fixture: two servers cross-wired into each other's only input. With both
+// rings sanctioned as blocking-wait sites, the wait graph closes a
+// ping -> pong -> ping cycle — exactly one wait-cycle diagnostic.
+// Never compiled; parsed by analyze_test.
+
+struct Chan {};
+
+class Server {
+ public:
+  Server(int sim, const char* name);
+  Chan* CreateInput(const char* chan, int capacity, int cost);
+  static bool Emit(Chan* out, int msg);
+};
+
+class PingServer : public Server {
+ public:
+  explicit PingServer(int sim) : Server(sim, "ping") { in_ = CreateInput("in", 8, 0); }
+  Chan* in() { return in_; }
+  void set_out(Chan* out) { out_ = out; }
+  void Handle() { Emit(out_, 1); }
+
+ private:
+  Chan* in_ = nullptr;
+  Chan* out_ = nullptr;
+};
+
+class PongServer : public Server {
+ public:
+  explicit PongServer(int sim) : Server(sim, "pong") { in_ = CreateInput("in", 8, 0); }
+  Chan* in() { return in_; }
+  void set_out(Chan* out) { out_ = out; }
+  void Handle() { Emit(out_, 1); }
+
+ private:
+  Chan* in_ = nullptr;
+  Chan* out_ = nullptr;
+};
+
+void Wire(PingServer* ping, PongServer* pong) {
+  ping->set_out(pong->in());
+  pong->set_out(ping->in());
+}

@@ -1,0 +1,47 @@
+// Fixture: two roles share a ring by design. With the matching [[shared]]
+// entry the diagnostic still fires, but waived and carrying the reason —
+// shared rings are recorded deviations, never silent. Never compiled;
+// parsed by analyze_test.
+
+struct Chan {};
+
+class Server {
+ public:
+  Server(int sim, const char* name);
+  Chan* CreateInput(const char* chan, int capacity, int cost);
+  static bool Emit(Chan* out, int msg);
+};
+
+class MuxServer : public Server {
+ public:
+  explicit MuxServer(int sim) : Server(sim, "mux") { in_ = CreateInput("shared", 64, 0); }
+  Chan* in() { return in_; }
+
+ private:
+  Chan* in_ = nullptr;
+};
+
+class LeftServer : public Server {
+ public:
+  explicit LeftServer(int sim) : Server(sim, "left") {}
+  void set_out(Chan* out) { out_ = out; }
+  void Handle() { Emit(out_, 1); }
+
+ private:
+  Chan* out_ = nullptr;
+};
+
+class RightServer : public Server {
+ public:
+  explicit RightServer(int sim) : Server(sim, "right") {}
+  void set_out(Chan* out) { out_ = out; }
+  void Handle() { Emit(out_, 2); }
+
+ private:
+  Chan* out_ = nullptr;
+};
+
+void Wire(MuxServer* mux, LeftServer* left, RightServer* right) {
+  left->set_out(mux->in());
+  right->set_out(mux->in());
+}

@@ -1,0 +1,40 @@
+// Fixture: blocking-push must fire exactly once, on the spin loop below.
+// The look-alikes — a single non-looping retry, a bounded for-loop drain, a
+// pop-side spin, and a spin mentioned only in a comment — must not fire.
+
+struct Ring {
+  bool Push(int value);
+  bool TryPush(int value);
+  bool TryPop(int* value);
+};
+
+void SpinUntilAccepted(Ring& ring, int value) {
+  while (!ring.TryPush(value)) {  // the violation: producer busy-waits on the consumer
+  }
+}
+
+bool SingleAttempt(Ring& ring, int value) {
+  if (!ring.Push(value)) {  // not a loop: backpressure is reported, not spun on
+    return false;
+  }
+  return true;
+}
+
+void BoundedRetry(Ring& ring, int value) {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (ring.TryPush(value)) {
+      return;
+    }
+  }
+}
+
+int DrainAll(Ring& ring) {
+  int value = 0;
+  int last = 0;
+  // Consumer side: `while (!ring.TryPush(v))` in a comment must not count,
+  // and popping in a loop is the normal drain idiom, not a blocking push.
+  while (ring.TryPop(&value)) {
+    last = value;
+  }
+  return last;
+}

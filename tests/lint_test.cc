@@ -43,7 +43,8 @@ Config AllRulesConfig() {
       "[rule.ring-pow2]\npaths = [\"fixtures/\"]\n"
       "[rule.fabric-shared-state]\npaths = [\"fixtures/\"]\n"
       "[rule.flow-timer]\npaths = [\"fixtures/\"]\n"
-      "[rule.scenario-literals]\npaths = [\"fixtures/\"]\n";
+      "[rule.scenario-literals]\npaths = [\"fixtures/\"]\n"
+      "[rule.blocking-push]\npaths = [\"fixtures/\"]\n";
   Config config;
   std::string error;
   EXPECT_TRUE(ParseConfig(kToml, &config, &error)) << error;
@@ -92,7 +93,8 @@ INSTANTIATE_TEST_SUITE_P(
                       RuleCase{"ring_pow2.cc", "ring-pow2"},
                       RuleCase{"fabric_static.cc", "fabric-shared-state"},
                       RuleCase{"flow_timer.cc", "flow-timer"},
-                      RuleCase{"scenario_literals.cc", "scenario-literals"}),
+                      RuleCase{"scenario_literals.cc", "scenario-literals"},
+                      RuleCase{"blocking_push.cc", "blocking-push"}),
     [](const ::testing::TestParamInfo<RuleCase>& param) {
       std::string name = param.param.rule;
       for (char& ch : name) {

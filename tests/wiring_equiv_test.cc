@@ -1,0 +1,188 @@
+// Static/dynamic wiring equivalence: the ring graph newtos_analyze extracts
+// from the sources must byte-match the wiring the runtime checkers observe.
+//
+// The static DES graph is a union over stack configurations (pf on/off,
+// syscall gateway on/off), so the dynamic side folds several testbed runs
+// into one ChannelChecker — WriteWiring merges rings by name. The live gates
+// compare RunLiveFig2's observed wiring against the static reading of
+// src/runtime/live_wiring.h for both stack flavours.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/check/channel_checker.h"
+#include "src/check/stack_check.h"
+#include "src/core/testbed.h"
+#include "src/fault/watchdog.h"
+#include "src/os/message.h"
+#include "src/os/microreboot.h"
+#include "src/runtime/live_stack.h"
+#include "src/workload/iperf.h"
+#include "src/workload/udp_flood.h"
+#include "tools/analyze/analyze.h"
+
+#if !NEWTOS_CHECKERS
+#error "wiring_equiv_test requires NEWTOS_CHECKERS (on by default)"
+#endif
+
+namespace newtos {
+namespace {
+
+struct StaticGraph {
+  analyze::Config config;
+  analyze::Model model;
+};
+
+// Extracts the tree under the checked-in analyze.toml. Cheap enough (a few
+// dozen files lexed) to redo per test; keeps the tests independent.
+StaticGraph ExtractStaticGraph() {
+  StaticGraph g;
+  std::string error;
+  EXPECT_TRUE(analyze::LoadConfig(
+      std::string(ANALYZE_REPO_ROOT) + "/tools/analyze/analyze.toml", &g.config, &error))
+      << error;
+  EXPECT_TRUE(analyze::ExtractTree(ANALYZE_REPO_ROOT, g.config, &g.model, &error))
+      << error;
+  return g;
+}
+
+// The watchdog rig must outlive the shared checker's WriteWiring call, like
+// the testbeds: the checker keys ring state by channel address, so a
+// destroyed acks ring could otherwise donate its address (and stale state)
+// to a channel of the next configuration.
+struct WatchdogRig {
+  explicit WatchdogRig(Testbed& tb)
+      : mgr(&tb.sim()), watchdog(&tb.sim(), &mgr, WatchdogServer::Params()) {}
+  MicrorebootManager mgr;
+  WatchdogServer watchdog;
+};
+
+// One DES testbed run folded into the shared checker. With the gateway and
+// packet filter enabled the run also drives the watchdog (heartbeats + acks
+// for every system server) and one outbound UDP datagram, so the branches
+// only this configuration wires all get observed.
+void RunDesConfiguration(ChannelChecker* check, Testbed& tb, WatchdogRig* rig) {
+  SocketApi* api = tb.stack()->CreateApp("app", tb.machine().core(0));
+  if (rig != nullptr) {
+    rig->watchdog.BindCore(tb.machine().core(tb.stack()->config().watchdog_core));
+    for (Server* s : tb.stack()->SystemServers()) {
+      rig->watchdog.Watch(s, 1'000'000);  // Watch() before Attach(): wd rings must exist
+    }
+    rig->watchdog.Start();
+  }
+
+  StackChecker wiring(check);
+  wiring.Attach(tb.stack());
+  if (rig != nullptr) {
+    wiring.AttachServer(&rig->watchdog);
+  }
+
+  // Workloads start only after Attach: BindDirect pushes its bind request
+  // into udp/app synchronously, and a pre-attach push would make the
+  // server's pop look like pop-before-push to the checker.
+  IperfSender::Params params;
+  params.dst = tb.peer_addr();
+  IperfSender sender(api, params);
+  IperfPeerSink sink(&tb.peer());
+  sender.Start();
+
+  UdpSutSink udp_sink;
+  udp_sink.BindDirect(tb.stack()->udp(), kUdpFloodPort);
+  UdpPeerFlood::Params fp;
+  fp.sut = tb.sut_addr();
+  fp.packets_per_sec = 20'000;
+  UdpPeerFlood flood(&tb.peer(), fp);
+  flood.Start();
+
+  // One outbound datagram makes udp push ip/tx. The direct anonymous push
+  // into udp/app is unrecorded (actor 0), matching the static graph, where
+  // udp/app has no in-graph producer either.
+  Msg send;
+  send.type = MsgType::kSockSend;
+  send.addr = tb.peer_addr();
+  send.port = kUdpFloodPort;
+  send.value = 64;
+  tb.stack()->udp()->app_in()->Push(send);
+
+  tb.sim().RunFor(200 * kMillisecond);
+  EXPECT_GT(sink.total_bytes(), 0u);
+  EXPECT_GT(udp_sink.received(), 0u);
+  std::ostringstream report;
+  check->Report(report);
+  EXPECT_TRUE(check->ok()) << report.str();
+}
+
+TEST(WiringEquiv, DesUnionGraphMatchesStaticExtraction) {
+  ChannelChecker check;
+
+  // Configuration A: packet filter + syscall gateway + watchdog.
+  TestbedOptions full_opts;
+  full_opts.stack.use_pf = true;
+  full_opts.stack.use_syscall_gateway = true;
+  Testbed full_tb(full_opts);
+  WatchdogRig rig(full_tb);
+  RunDesConfiguration(&check, full_tb, &rig);
+
+  // Configuration B: direct wiring — ip feeds L4 itself, apps talk to tcp
+  // directly. Both testbeds (and the rig) stay alive until WriteWiring so no
+  // registered channel address is reused across runs.
+  TestbedOptions direct_opts;
+  direct_opts.stack.use_pf = false;
+  direct_opts.stack.use_syscall_gateway = false;
+  Testbed direct_tb(direct_opts);
+  RunDesConfiguration(&check, direct_tb, /*rig=*/nullptr);
+
+  const StaticGraph g = ExtractStaticGraph();
+  std::ostringstream statically;
+  analyze::WriteDesWiring(g.model, statically);
+  std::ostringstream observed;
+  check.WriteWiring(observed);
+  EXPECT_EQ(observed.str(), statically.str());
+}
+
+TEST(WiringEquiv, LiveFullStackMatchesStaticTable) {
+  LiveStackConfig cfg;
+  cfg.transfer_bytes = 2 * 1024 * 1024;
+  const LiveStackResult r = RunLiveFig2(cfg);
+  ASSERT_TRUE(r.completed);
+  ASSERT_FALSE(r.wiring.empty());
+  // The wd rings only show up as wired once real heartbeat traffic flowed.
+  EXPECT_GE(r.heartbeat_rounds, 1u);
+
+  const StaticGraph g = ExtractStaticGraph();
+  std::ostringstream statically;
+  analyze::WriteLiveWiring(g.model, /*mini=*/false, statically);
+  EXPECT_EQ(r.wiring, statically.str());
+}
+
+TEST(WiringEquiv, LiveMiniStackMatchesStaticTable) {
+  LiveStackConfig cfg;
+  cfg.mini = true;
+  cfg.transfer_bytes = 1024 * 1024;
+  const LiveStackResult r = RunLiveFig2(cfg);
+  ASSERT_TRUE(r.completed);
+  ASSERT_FALSE(r.wiring.empty());
+
+  const StaticGraph g = ExtractStaticGraph();
+  std::ostringstream statically;
+  analyze::WriteLiveWiring(g.model, /*mini=*/true, statically);
+  EXPECT_EQ(r.wiring, statically.str());
+}
+
+TEST(WiringEquiv, SharedWaiversMirrorDynamicChecker) {
+  // Every shared-by-design pattern the dynamic checker knows must also be
+  // declared (and re-justified) in analyze.toml, so the two toolchains can
+  // never drift apart on which rings are legitimately multi-producer.
+  const StaticGraph g = ExtractStaticGraph();
+  for (const char* name :
+       {"ip/tx", "x/acks", "x/events", "x/app", "x/req", "x/evt"}) {
+    ASSERT_NE(StackChecker::SharedReasonFor(name), nullptr) << name;
+    EXPECT_NE(g.config.FindShared(name), nullptr)
+        << "dynamic checker shares '" << name << "' but analyze.toml does not";
+  }
+}
+
+}  // namespace
+}  // namespace newtos

@@ -1,0 +1,336 @@
+// Checks and serialization for newtos_analyze: the SPSC-discipline and
+// blocking-site rules, the blocking-wait-graph cycle search, and the
+// canonical wiring text the equivalence gate compares against the dynamic
+// checkers.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/analyze.h"
+
+namespace newtos::analyze {
+namespace {
+
+// Role of the watchdog thread in the live stack; the wd/<r> and <r>/wd rings
+// are synthesized per watched role (src/runtime/live_stack.cc) rather than
+// listed row-by-row in the wiring table.
+constexpr const char* kLiveWatchdogRole = "watchdog";
+
+std::string JoinComma(const std::vector<std::string>& v) {
+  std::string out;
+  for (const std::string& s : v) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += s;
+  }
+  return out;
+}
+
+bool PathPrefix(const std::string& file, const std::string& prefix) {
+  if (prefix.empty() || file.size() < prefix.size() ||
+      file.compare(0, prefix.size(), prefix) != 0) {
+    return false;
+  }
+  return file.size() == prefix.size() || file[prefix.size()] == '/' ||
+         prefix.back() == '/';
+}
+
+// "*/wd"-style pattern: "*" before a suffix matches any ring ending with it;
+// otherwise the match is exact.
+bool RingMatches(const std::string& pattern, const std::string& ring) {
+  if (pattern.size() > 1 && pattern[0] == '*') {
+    const std::string suffix = pattern.substr(1);
+    return ring.size() >= suffix.size() &&
+           ring.compare(ring.size() - suffix.size(), suffix.size(), suffix) == 0;
+  }
+  return pattern == ring;
+}
+
+// One directed edge of a blocking-wait graph: the producer of `ring` can
+// busy-wait until the consumer drains it.
+struct WaitEdge {
+  std::string from;
+  std::string ring;
+  std::string to;
+  std::string file;
+  int line = 0;
+};
+
+// Depth-first cycle search. Every cycle found is canonicalized (rotated so
+// the lexicographically smallest role leads) and reported once, as a
+// "role -> ring -> role -> ... -> role" chain.
+void FindWaitCycles(const std::vector<WaitEdge>& edges, const std::string& graph,
+                    std::set<std::string>* reported, std::vector<Diagnostic>* out) {
+  std::map<std::string, std::vector<const WaitEdge*>> adj;
+  for (const WaitEdge& e : edges) {
+    adj[e.from].push_back(&e);
+  }
+  std::vector<const WaitEdge*> path;
+  std::set<std::string> on_path;
+  std::set<std::string> done;
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    on_path.insert(node);
+    auto it = adj.find(node);
+    if (it != adj.end()) {
+      for (const WaitEdge* e : it->second) {
+        if (on_path.count(e->to) > 0) {
+          std::vector<const WaitEdge*> cyc;
+          size_t start = 0;
+          while (start < path.size() && path[start]->from != e->to) {
+            ++start;
+          }
+          for (size_t i = start; i < path.size(); ++i) {
+            cyc.push_back(path[i]);
+          }
+          cyc.push_back(e);
+          size_t lead = 0;
+          for (size_t i = 1; i < cyc.size(); ++i) {
+            if (cyc[i]->from < cyc[lead]->from) {
+              lead = i;
+            }
+          }
+          std::string chain = cyc[lead]->from;
+          for (size_t i = 0; i < cyc.size(); ++i) {
+            const WaitEdge* step = cyc[(lead + i) % cyc.size()];
+            chain += " -> " + step->ring + " -> " + step->to;
+          }
+          const std::string key = graph + ":" + chain;
+          if (reported->insert(key).second) {
+            Diagnostic d;
+            d.file = cyc[lead]->file;
+            d.line = cyc[lead]->line;
+            d.rule = "wait-cycle";
+            d.message = "blocking-wait cycle in the " + graph + " graph: " + chain;
+            out->push_back(std::move(d));
+          }
+        } else if (done.count(e->to) == 0) {
+          path.push_back(e);
+          dfs(e->to);
+          path.pop_back();
+        }
+      }
+    }
+    on_path.erase(node);
+    done.insert(node);
+  };
+  for (const auto& [node, unused] : adj) {
+    (void)unused;
+    if (done.count(node) == 0) {
+      dfs(node);
+    }
+  }
+}
+
+void Note(std::vector<Diagnostic>* out, const std::string& message) {
+  Diagnostic d;
+  d.rule = "note";
+  d.message = message;
+  d.waived = true;
+  out->push_back(std::move(d));
+}
+
+// The live rings of one flavour, wd rings synthesized for the full stack.
+std::vector<LiveRing> LiveRingsFor(const Model& model, bool mini) {
+  std::vector<LiveRing> rings;
+  for (const LiveRing& r : model.live) {
+    if (mini ? r.in_mini : r.in_full) {
+      rings.push_back(r);
+    }
+  }
+  if (!mini) {
+    for (const std::string& r : model.live_watched) {
+      LiveRing hb;  // watchdog -> server heartbeats
+      hb.name = "wd/" + r;
+      hb.producer = kLiveWatchdogRole;
+      hb.consumer = r;
+      rings.push_back(hb);
+      LiveRing ack;  // server -> watchdog acks
+      ack.name = r + "/wd";
+      ack.producer = r;
+      ack.consumer = kLiveWatchdogRole;
+      rings.push_back(ack);
+    }
+  }
+  std::sort(rings.begin(), rings.end(),
+            [](const LiveRing& a, const LiveRing& b) { return a.name < b.name; });
+  return rings;
+}
+
+}  // namespace
+
+bool ExtractTree(const std::string& root, const Config& config, Model* model,
+                 std::string* error) {
+  namespace fs = std::filesystem;
+  std::set<std::string> rel_paths;
+  auto add_dir = [&](const std::string& dir) {
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) {
+      return false;
+    }
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) {
+        return false;
+      }
+      if (!it->is_regular_file()) {
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext == ".h" || ext == ".cc" || ext == ".hpp" || ext == ".cpp") {
+        rel_paths.insert(fs::relative(it->path(), root, ec).generic_string());
+      }
+    }
+    return true;
+  };
+  for (const std::string& dir : config.extract_paths) {
+    if (!add_dir(dir)) {
+      *error = "cannot walk extract path: " + dir + " (under " + root + ")";
+      return false;
+    }
+  }
+  for (const std::string& dir : config.blocking_paths) {
+    if (!add_dir(dir)) {
+      *error = "cannot walk blocking path: " + dir + " (under " + root + ")";
+      return false;
+    }
+  }
+  if (!config.live_wiring.empty()) {
+    rel_paths.insert(config.live_wiring);
+  }
+  std::vector<SourceFile> files;
+  files.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      *error = "cannot read source file: " + rel;
+      return false;
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    files.push_back(SourceFile{rel, oss.str()});
+  }
+  ExtractSources(files, config, model);
+  return true;
+}
+
+void RunChecks(const Model& model, const Config& config, std::vector<Diagnostic>* out) {
+  // 1. SPSC discipline: one producing role per ring, or a reasoned waiver.
+  for (const Ring& ring : model.des) {
+    if (ring.producers.size() > 1) {
+      Diagnostic d;
+      d.file = ring.file;
+      d.line = ring.line;
+      d.rule = "multi-producer";
+      d.message = "ring '" + ring.name + "' has " +
+                  std::to_string(ring.producers.size()) + " producing roles {" +
+                  JoinComma(ring.producers) + "} (consumer: " + ring.consumer + ")";
+      if (const SharedEntry* e = config.FindShared(ring.name)) {
+        d.waived = true;
+        d.waive_reason = e->reason;
+      }
+      out->push_back(std::move(d));
+    } else if (ring.producers.empty()) {
+      Note(out, ring.file + ":" + std::to_string(ring.line) + ": ring '" + ring.name +
+                    "' has no statically resolved producer (pushed only from "
+                    "outside the server graph, or never)");
+    }
+  }
+
+  // 2. Blocking-push sites: each spin-on-push must be sanctioned.
+  for (const BlockSite& site : model.block_sites) {
+    Diagnostic d;
+    d.file = site.file;
+    d.line = site.line;
+    d.rule = "blocking-push";
+    d.message = "busy-wait on a ring push: `" + site.text + "`";
+    for (const BlockingEntry& e : config.blocking) {
+      if (PathPrefix(site.file, e.file)) {
+        d.waived = true;
+        d.waive_reason = e.reason;
+        e.used = true;
+        break;
+      }
+    }
+    out->push_back(std::move(d));
+  }
+
+  // 3. Deadlock freedom: the sanctioned blocking sites induce wait edges
+  // (blocked producer -> ring consumer) over every graph a matching ring
+  // lives in; each graph must stay acyclic. DES Emit never blocks, so the
+  // DES graph only gains edges through [[blocking]] ring patterns too.
+  std::set<std::string> reported;
+  {
+    std::vector<WaitEdge> edges;
+    for (const Ring& ring : model.des) {
+      for (const BlockingEntry& e : config.blocking) {
+        if (!RingMatches(e.ring, ring.name)) {
+          continue;
+        }
+        for (const std::string& p : ring.producers) {
+          edges.push_back(WaitEdge{p, ring.name, ring.consumer, ring.file, ring.line});
+        }
+        break;
+      }
+    }
+    FindWaitCycles(edges, "DES", &reported, out);
+  }
+  for (const bool mini : {false, true}) {
+    std::vector<WaitEdge> edges;
+    for (const LiveRing& ring : LiveRingsFor(model, mini)) {
+      for (const BlockingEntry& e : config.blocking) {
+        if (!RingMatches(e.ring, ring.name)) {
+          continue;
+        }
+        edges.push_back(
+            WaitEdge{ring.producer, ring.name, ring.consumer, ring.file, ring.line});
+        break;
+      }
+    }
+    FindWaitCycles(edges, mini ? "live-mini" : "live-full", &reported, out);
+  }
+
+  // Unused waivers are stale configuration — surface them.
+  for (const SharedEntry& e : config.shared) {
+    if (!e.used) {
+      Note(out, "analyze.toml: [[shared]] ring '" + e.pattern +
+                    "' matched no multi-producer ring (stale waiver?)");
+    }
+  }
+  for (const BlockingEntry& e : config.blocking) {
+    if (!e.used) {
+      Note(out, "analyze.toml: [[blocking]] entry for '" + e.file +
+                    "' sanctioned no spin site (stale waiver?)");
+    }
+  }
+  for (const RoleEntry& e : config.roles) {
+    if (!e.used) {
+      Note(out, "analyze.toml: [[role]] mapping '" + e.cls + "' -> '" + e.role +
+                    "' matched no extracted class");
+    }
+  }
+}
+
+void WriteDesWiring(const Model& model, std::ostream& os) {
+  for (const Ring& ring : model.des) {
+    os << "ring " << ring.name << " consumer=" << ring.consumer
+       << " producers=" << JoinComma(ring.producers) << "\n";
+  }
+}
+
+void WriteLiveWiring(const Model& model, bool mini, std::ostream& os) {
+  for (const LiveRing& ring : LiveRingsFor(model, mini)) {
+    os << "ring " << ring.name << " consumer=" << ring.consumer
+       << " producers=" << ring.producer << "\n";
+  }
+}
+
+}  // namespace newtos::analyze

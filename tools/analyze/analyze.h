@@ -1,0 +1,155 @@
+// newtos_analyze: static ring-graph extraction and verification.
+//
+// Where newtos_lint pattern-matches single lines, this tool is
+// declaration-aware: it lexes the C++ sources into tokens, recognizes ring
+// declarations (Server::CreateInput call sites and the live-stack wiring
+// table), accessor/setter definitions, cross-server wiring calls and Emit
+// sites, and lowers them into a small IR — nodes are server roles, edges are
+// rings with a direction, a capacity expression, and a declaration site.
+//
+// Over that IR run three checks:
+//   1. SPSC discipline — every ring has exactly one producing role, unless
+//      declared shared-by-design in analyze.toml with a mandatory reason.
+//   2. Deadlock freedom — blocking waits exist only at sanctioned
+//      busy-wait-push sites ([[blocking]] entries); the resulting wait
+//      graph (blocked producer -> ring consumer) must be acyclic.
+//   3. Static/dynamic agreement — the extracted graph serializes to a
+//      canonical sorted text that a ctest gate compares against the wiring
+//      the runtime checkers actually observed (see tests/wiring_equiv_test).
+//
+// The DES graph is a *union over stack configurations*: `ip` feeds the L4
+// rings directly or through `pf` depending on StackConfig, and both wirings
+// appear as producers. The equivalence gate mirrors this by folding several
+// dynamic runs into one observation. Like the linter, this tool has zero
+// dependencies beyond the standard library.
+
+#ifndef TOOLS_ANALYZE_ANALYZE_H_
+#define TOOLS_ANALYZE_ANALYZE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace newtos::analyze {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;  // "multi-producer", "wait-cycle", "blocking-push"
+  std::string message;
+  bool waived = false;
+  std::string waive_reason;
+};
+
+// [[role]]: maps a Server subclass whose role name is not a string literal in
+// its constructor (e.g. AppProcess, named at runtime) onto a static role.
+struct RoleEntry {
+  std::string cls;
+  std::string role;
+  std::string reason;
+  mutable bool used = false;
+};
+
+// [[shared]]: a ring allowed to have several producing roles. `pattern` is an
+// exact ring name ("ip/tx") or a "/suffix" matching any ring ending with it.
+struct SharedEntry {
+  std::string pattern;
+  std::string reason;
+  mutable bool used = false;
+};
+
+// [[blocking]]: sanctions a busy-wait push site. `file` is a path prefix;
+// `ring` is an exact ring name or a "*/suffix" pattern naming the rings the
+// site can block on. Each sanctioned site contributes wait edges
+// (ring producer -> ring consumer) to the deadlock check; a spin site not
+// covered by any entry is a "blocking-push" violation.
+struct BlockingEntry {
+  std::string file;
+  std::string ring;
+  std::string reason;
+  mutable bool used = false;
+};
+
+struct Config {
+  std::vector<std::string> extract_paths;   // dirs lexed for the DES graph
+  std::vector<std::string> blocking_paths;  // extra dirs scanned for spin sites
+  std::string live_wiring;                  // live wiring table header, "" = none
+  std::vector<std::string> watched;         // roles the "*" wildcard expands to
+  std::vector<RoleEntry> roles;
+  std::vector<SharedEntry> shared;
+  std::vector<BlockingEntry> blocking;
+
+  const SharedEntry* FindShared(const std::string& ring_name) const;
+};
+
+// Parses the analyze.toml subset (same dialect as lint.toml: [section] tables,
+// [[entry]] arrays, key = "string" / ["array", "of", "strings"]). Every
+// [[shared]]/[[blocking]]/[[role]] entry must carry a reason — unexplained
+// waivers are configuration errors, mirroring the linter.
+bool ParseConfig(const std::string& text, Config* config, std::string* error);
+bool LoadConfig(const std::string& path, Config* config, std::string* error);
+
+// --------------------------------------------------------------------------
+// IR.
+
+struct Ring {
+  std::string name;      // "role/chan", e.g. "ip/rx"
+  std::string consumer;  // owning role (CreateInput caller)
+  std::vector<std::string> producers;  // sorted, unique
+  std::string capacity;  // capacity expression text from the declaration
+  std::string file;
+  int line = 0;
+};
+
+struct LiveRing {
+  std::string name;
+  std::string producer;
+  std::string consumer;
+  bool in_mini = false;
+  bool in_full = false;
+  std::string file;
+  int line = 0;
+};
+
+struct BlockSite {
+  std::string file;
+  int line = 0;
+  std::string text;  // the spin condition, for the report
+};
+
+struct Model {
+  std::vector<Ring> des;          // sorted by name after extraction
+  std::vector<LiveRing> live;     // data rings from the live wiring table
+  std::vector<std::string> live_watched;  // roles with wd/<r> + <r>/wd rings
+  std::vector<BlockSite> block_sites;
+  std::vector<std::string> notes;  // informational: unresolved emits, etc.
+};
+
+struct SourceFile {
+  std::string path;  // repo-relative, forward slashes
+  std::string text;
+};
+
+// Lexes the given sources and lowers them into `model` (passes: roles,
+// ring declarations, accessors/setters, wiring calls, Emit sites, wildcard
+// expansion). Fixture tests drive this directly with synthetic files.
+void ExtractSources(const std::vector<SourceFile>& files, const Config& config, Model* model);
+
+// Walks config.extract_paths (+ blocking_paths + live_wiring) under `root`
+// and runs ExtractSources over what it finds.
+bool ExtractTree(const std::string& root, const Config& config, Model* model, std::string* error);
+
+// Runs the SPSC, blocking-site and deadlock checks; appends diagnostics
+// (waived ones included) and informational notes (unused config entries).
+void RunChecks(const Model& model, const Config& config, std::vector<Diagnostic>* out);
+
+// Canonical sorted wiring text, one ring per line:
+//   ring <name> consumer=<role> producers=<r1,r2>
+// The dynamic checkers emit the same format (ChannelChecker::WriteWiring,
+// WriteLiveWiring), so equality is plain string comparison.
+void WriteDesWiring(const Model& model, std::ostream& os);
+void WriteLiveWiring(const Model& model, bool mini, std::ostream& os);
+
+}  // namespace newtos::analyze
+
+#endif  // TOOLS_ANALYZE_ANALYZE_H_

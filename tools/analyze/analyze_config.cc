@@ -1,0 +1,273 @@
+// analyze.toml parser: the same deliberate TOML subset as lint.toml —
+// `[extract]`/`[graph]` tables with string/array values and
+// `[[shared]]`/`[[blocking]]`/`[[role]]` array-of-tables entries. Every
+// waiver-shaped entry must carry a reason: an unexplained exception is a
+// configuration error, exactly as in the linter.
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "tools/analyze/analyze.h"
+
+namespace newtos::analyze {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+// Strips a trailing # comment that is not inside a double-quoted string.
+std::string StripComment(const std::string& s) {
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') {
+      in_string = !in_string;
+    } else if (s[i] == '#' && !in_string) {
+      return s.substr(0, i);
+    }
+  }
+  return s;
+}
+
+// Parses `"quoted"` at position `i` (on a quote); no escape sequences —
+// paths, ring names and reasons never need them.
+bool ParseString(const std::string& s, size_t* i, std::string* out) {
+  if (*i >= s.size() || s[*i] != '"') {
+    return false;
+  }
+  const size_t end = s.find('"', *i + 1);
+  if (end == std::string::npos) {
+    return false;
+  }
+  *out = s.substr(*i + 1, end - *i - 1);
+  *i = end + 1;
+  return true;
+}
+
+bool ParseStringArray(const std::string& v, std::vector<std::string>* out) {
+  const std::string t = Trim(v);
+  if (t.size() < 2 || t.front() != '[' || t.back() != ']') {
+    return false;
+  }
+  size_t i = 1;
+  while (i < t.size() - 1) {
+    while (i < t.size() - 1 && (std::isspace(static_cast<unsigned char>(t[i])) || t[i] == ',')) {
+      ++i;
+    }
+    if (i >= t.size() - 1) {
+      break;
+    }
+    std::string item;
+    if (!ParseString(t, &i, &item)) {
+      return false;
+    }
+    out->push_back(item);
+  }
+  return true;
+}
+
+}  // namespace
+
+const SharedEntry* Config::FindShared(const std::string& ring_name) const {
+  for (const SharedEntry& e : shared) {
+    const bool match =
+        e.pattern.front() == '/'
+            ? ring_name.size() >= e.pattern.size() &&
+                  ring_name.compare(ring_name.size() - e.pattern.size(), e.pattern.size(),
+                                    e.pattern) == 0
+            : ring_name == e.pattern;
+    if (match) {
+      e.used = true;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+bool ParseConfig(const std::string& text, Config* config, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+
+  enum class Section { kNone, kExtract, kGraph, kShared, kBlocking, kRole };
+  Section section = Section::kNone;
+  SharedEntry* shared = nullptr;
+  BlockingEntry* blocking = nullptr;
+  RoleEntry* role = nullptr;
+
+  auto fail = [&](const std::string& why) {
+    std::ostringstream oss;
+    oss << "analyze.toml:" << lineno << ": " << why;
+    *error = oss.str();
+    return false;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string t = Trim(StripComment(line));
+    if (t.empty()) {
+      continue;
+    }
+    if (t == "[[shared]]") {
+      config->shared.emplace_back();
+      shared = &config->shared.back();
+      section = Section::kShared;
+      continue;
+    }
+    if (t == "[[blocking]]") {
+      config->blocking.emplace_back();
+      blocking = &config->blocking.back();
+      section = Section::kBlocking;
+      continue;
+    }
+    if (t == "[[role]]") {
+      config->roles.emplace_back();
+      role = &config->roles.back();
+      section = Section::kRole;
+      continue;
+    }
+    if (t.front() == '[') {
+      if (t.back() != ']') {
+        return fail("unterminated table header");
+      }
+      const std::string name = Trim(t.substr(1, t.size() - 2));
+      if (name == "extract") {
+        section = Section::kExtract;
+      } else if (name == "graph") {
+        section = Section::kGraph;
+      } else {
+        return fail("unknown table [" + name +
+                    "] (expected [extract], [graph], [[shared]], [[blocking]] or [[role]])");
+      }
+      continue;
+    }
+    const size_t eq = t.find('=');
+    if (eq == std::string::npos) {
+      return fail("expected key = value");
+    }
+    const std::string key = Trim(t.substr(0, eq));
+    const std::string value = Trim(t.substr(eq + 1));
+    size_t i = 0;
+    std::string sval;
+    if (section == Section::kExtract) {
+      if (key == "paths") {
+        if (!ParseStringArray(value, &config->extract_paths)) {
+          return fail("paths must be an array of strings");
+        }
+      } else if (key == "blocking_paths") {
+        if (!ParseStringArray(value, &config->blocking_paths)) {
+          return fail("blocking_paths must be an array of strings");
+        }
+      } else if (key == "live_wiring") {
+        if (!ParseString(value, &i, &config->live_wiring)) {
+          return fail("live_wiring must be a quoted string");
+        }
+      } else {
+        return fail("unknown key '" + key + "' in [extract]");
+      }
+    } else if (section == Section::kGraph) {
+      if (key != "watched") {
+        return fail("unknown key '" + key + "' in [graph] (expected watched)");
+      }
+      if (!ParseStringArray(value, &config->watched)) {
+        return fail("watched must be an array of strings");
+      }
+    } else if (section == Section::kShared) {
+      if (!ParseString(value, &i, &sval)) {
+        return fail(key + " must be a quoted string");
+      }
+      if (key == "ring") {
+        shared->pattern = sval;
+      } else if (key == "reason") {
+        shared->reason = sval;
+      } else {
+        return fail("unknown key '" + key + "' in [[shared]]");
+      }
+    } else if (section == Section::kBlocking) {
+      if (!ParseString(value, &i, &sval)) {
+        return fail(key + " must be a quoted string");
+      }
+      if (key == "file") {
+        blocking->file = sval;
+      } else if (key == "ring") {
+        blocking->ring = sval;
+      } else if (key == "reason") {
+        blocking->reason = sval;
+      } else {
+        return fail("unknown key '" + key + "' in [[blocking]]");
+      }
+    } else if (section == Section::kRole) {
+      if (!ParseString(value, &i, &sval)) {
+        return fail(key + " must be a quoted string");
+      }
+      if (key == "class") {
+        role->cls = sval;
+      } else if (key == "role") {
+        role->role = sval;
+      } else if (key == "reason") {
+        role->reason = sval;
+      } else {
+        return fail("unknown key '" + key + "' in [[role]]");
+      }
+    } else {
+      return fail("key outside any table");
+    }
+  }
+
+  for (const SharedEntry& e : config->shared) {
+    if (e.pattern.empty()) {
+      *error = "analyze.toml: [[shared]] entry missing ring";
+      return false;
+    }
+    if (e.reason.empty()) {
+      *error = "analyze.toml: shared ring '" + e.pattern +
+               "' has no reason — unexplained waivers are analysis failures";
+      return false;
+    }
+  }
+  for (const BlockingEntry& e : config->blocking) {
+    if (e.file.empty() || e.ring.empty()) {
+      *error = "analyze.toml: [[blocking]] entry missing file or ring";
+      return false;
+    }
+    if (e.reason.empty()) {
+      *error = "analyze.toml: blocking site in '" + e.file +
+               "' has no reason — unexplained waivers are analysis failures";
+      return false;
+    }
+  }
+  for (const RoleEntry& e : config->roles) {
+    if (e.cls.empty() || e.role.empty()) {
+      *error = "analyze.toml: [[role]] entry missing class or role";
+      return false;
+    }
+    if (e.reason.empty()) {
+      *error = "analyze.toml: role mapping for '" + e.cls + "' has no reason";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LoadConfig(const std::string& path, Config* config, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open config: " + path;
+    return false;
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return ParseConfig(oss.str(), config, error);
+}
+
+}  // namespace newtos::analyze

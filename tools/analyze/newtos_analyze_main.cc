@@ -1,0 +1,128 @@
+// newtos_analyze CLI.
+//
+//   newtos_analyze --root <repo> [--config <analyze.toml>] [--github]
+//                  [--verbose] [--print]
+//
+// Extracts the ring graph from the configured source trees, runs the SPSC /
+// blocking-site / wait-cycle checks, and prints any violations. --github
+// wraps them in workflow commands so CI annotates the offending lines.
+// --print dumps the canonical wiring text (DES graph plus both live stack
+// flavours) — the same text the equivalence gate compares against the
+// dynamic checkers. Exit codes: 0 clean, 1 violations, 2 configuration or
+// extraction error.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/analyze.h"
+
+namespace {
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: newtos_analyze [--root DIR] [--config FILE] [--github] "
+        "[--verbose] [--print]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using newtos::analyze::Config;
+  using newtos::analyze::Diagnostic;
+  using newtos::analyze::Model;
+
+  std::string root = ".";
+  std::string config_path;
+  bool github = false;
+  bool verbose = false;
+  bool print = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--github") {
+      github = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--print") {
+      print = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "newtos_analyze: unknown argument '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return 2;
+    }
+  }
+  if (config_path.empty()) {
+    config_path = root + "/tools/analyze/analyze.toml";
+  }
+
+  Config config;
+  std::string error;
+  if (!newtos::analyze::LoadConfig(config_path, &config, &error)) {
+    std::cerr << "newtos_analyze: " << error << "\n";
+    return 2;
+  }
+  Model model;
+  if (!newtos::analyze::ExtractTree(root, config, &model, &error)) {
+    std::cerr << "newtos_analyze: " << error << "\n";
+    return 2;
+  }
+  std::vector<Diagnostic> diags;
+  newtos::analyze::RunChecks(model, config, &diags);
+
+  if (print) {
+    std::cout << "# DES ring graph (union over stack configurations)\n";
+    newtos::analyze::WriteDesWiring(model, std::cout);
+    std::cout << "# live stack, full flavour\n";
+    newtos::analyze::WriteLiveWiring(model, /*mini=*/false, std::cout);
+    std::cout << "# live stack, mini flavour\n";
+    newtos::analyze::WriteLiveWiring(model, /*mini=*/true, std::cout);
+  }
+
+  size_t violations = 0;
+  size_t waived = 0;
+  size_t notes = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "note") {
+      ++notes;
+      if (verbose) {
+        std::cout << "note: " << d.message << "\n";
+      }
+      continue;
+    }
+    if (d.waived) {
+      ++waived;
+      if (verbose) {
+        std::cout << d.file << ":" << d.line << ": waived [" << d.rule << "] " << d.message
+                  << " (reason: " << d.waive_reason << ")\n";
+      }
+      continue;
+    }
+    ++violations;
+    if (github) {
+      std::cout << "::error file=" << d.file << ",line=" << d.line << "::" << d.rule << ": "
+                << d.message << "\n";
+    } else {
+      std::cout << d.file << ":" << d.line << ": error [" << d.rule << "] " << d.message
+                << "\n";
+    }
+  }
+  if (verbose) {
+    for (const std::string& note : model.notes) {
+      std::cout << "note: " << note << "\n";
+    }
+  }
+  notes += model.notes.size();
+
+  std::cout << "newtos_analyze: " << model.des.size() << " DES rings, " << model.live.size()
+            << " live table rows, " << model.block_sites.size() << " spin sites; "
+            << violations << " violation(s), " << waived << " waived, " << notes
+            << " note(s)\n";
+  return violations > 0 ? 1 : 0;
+}

@@ -1,0 +1,205 @@
+// Minimal C++ lexer for newtos_analyze. The extractor and the blocking-site
+// scanner both work on this token stream instead of raw lines: comments and
+// string contents can never fake a call site, and multi-line declarations
+// need no special casing.
+//
+// Deliberate simplifications, safe for this codebase's style:
+//   - Preprocessor lines are skipped wholesale (honoring \ continuations),
+//     which keeps the code of *every* #if branch — the extractor wants the
+//     union over configurations anyway.
+//   - Only the two-character operators that change parsing decisions are
+//     combined ("::", "->", "==", ...); "<<" and ">>" stay split so template
+//     argument lists close one token at a time.
+//   - String tokens carry their unquoted value: ring and role names come
+//     straight out of the literal.
+
+#ifndef TOOLS_ANALYZE_TOKEN_H_
+#define TOOLS_ANALYZE_TOKEN_H_
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace newtos::analyze {
+
+struct Tok {
+  enum Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind = kPunct;
+  std::string text;  // for kString: the literal's value, quotes stripped
+  int line = 1;
+};
+
+inline bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+inline bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+inline std::vector<Tok> Lex(const std::string& text) {
+  std::vector<Tok> out;
+  const size_t n = text.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '#' && at_line_start) {
+      // Preprocessor directive: skip to end of line, following continuations.
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') {
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    if (c == '"' || (c == 'R' && i + 1 < n && text[i + 1] == '"')) {
+      Tok t;
+      t.kind = Tok::kString;
+      t.line = line;
+      if (c == 'R') {
+        // Raw string: R"delim( ... )delim"
+        size_t j = i + 2;
+        std::string delim;
+        while (j < n && text[j] != '(') {
+          delim += text[j++];
+        }
+        const std::string closer = ")" + delim + "\"";
+        const size_t end = text.find(closer, j);
+        const size_t stop = end == std::string::npos ? n : end;
+        for (size_t k = j + 1; k < stop; ++k) {
+          if (text[k] == '\n') {
+            ++line;
+          }
+          t.text += text[k];
+        }
+        i = stop == n ? n : stop + closer.size();
+      } else {
+        ++i;
+        while (i < n && text[i] != '"') {
+          if (text[i] == '\\' && i + 1 < n) {
+            t.text += text[i + 1];
+            i += 2;
+            continue;
+          }
+          if (text[i] == '\n') {
+            ++line;  // unterminated; keep line counts sane
+          }
+          t.text += text[i++];
+        }
+        if (i < n) {
+          ++i;  // closing quote
+        }
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      // Character literal — treat as an opaque number-like token.
+      Tok t;
+      t.kind = Tok::kNumber;
+      t.line = line;
+      ++i;
+      while (i < n && text[i] != '\'') {
+        if (text[i] == '\\' && i + 1 < n) {
+          t.text += text[i + 1];
+          i += 2;
+          continue;
+        }
+        t.text += text[i++];
+      }
+      if (i < n) {
+        ++i;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      Tok t;
+      t.kind = Tok::kIdent;
+      t.line = line;
+      while (i < n && IsIdentChar(text[i])) {
+        t.text += text[i++];
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      Tok t;
+      t.kind = Tok::kNumber;
+      t.line = line;
+      while (i < n && (IsIdentChar(text[i]) || text[i] == '\'' || text[i] == '.' ||
+                       ((text[i] == '+' || text[i] == '-') && i > 0 &&
+                        (text[i - 1] == 'e' || text[i - 1] == 'E' || text[i - 1] == 'p' ||
+                         text[i - 1] == 'P')))) {
+        if (text[i] != '\'') {  // drop digit separators
+          t.text += text[i];
+        }
+        ++i;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    Tok t;
+    t.kind = Tok::kPunct;
+    t.line = line;
+    t.text = std::string(1, c);
+    if (i + 1 < n) {
+      const char d = text[i + 1];
+      // Combine only the pairs whose split forms would confuse the scans.
+      static const char* kPairs[] = {"::", "->", "==", "!=", "<=", ">=", "+=", "-=",
+                                     "*=", "/=", "%=", "&=", "|=", "^=", "&&", "||",
+                                     "++", "--"};
+      const std::string two = std::string(1, c) + d;
+      for (const char* p : kPairs) {
+        if (two == p) {
+          t.text = two;
+          ++i;
+          break;
+        }
+      }
+    }
+    ++i;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace newtos::analyze
+
+#endif  // TOOLS_ANALYZE_TOKEN_H_

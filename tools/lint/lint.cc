@@ -276,6 +276,7 @@ class Linter {
     if (On("fabric-shared-state")) CheckFabricSharedState();
     if (On("flow-timer")) CheckFlowTimer();
     if (On("scenario-literals")) CheckScenarioLiterals();
+    if (On("blocking-push")) CheckBlockingPush();
   }
 
  private:
@@ -733,6 +734,43 @@ class Linter {
     }
   }
 
+  // --- blocking-push: a producer busy-waiting on a ring push,
+  // `while (!ring.Push(x))` / `->TryPush` / `.TryEmplace`. Backpressure must
+  // park or drop, never spin: a spinning producer plus a blocked consumer is
+  // the deadlock shape the static wait-graph check proves absent, and every
+  // sanctioned spin must be visible to it via analyze.toml.
+  void CheckBlockingPush() {
+    for (size_t l = 0; l < file_.code.size(); ++l) {
+      const std::string& line = file_.code[l];
+      const size_t w = FindWord(line, "while", 0);
+      if (w == std::string::npos) {
+        continue;
+      }
+      const size_t open = SkipSpaces(line, w + 5);
+      if (open >= line.size() || line[open] != '(') {
+        continue;
+      }
+      const std::string cond = line.substr(open);
+      if (cond.find('!') == std::string::npos) {
+        continue;
+      }
+      for (const char* call : {"Push(", "TryPush(", "TryEmplace("}) {
+        const size_t c = cond.find(call);
+        const bool member_call =
+            c != std::string::npos &&
+            ((c >= 1 && cond[c - 1] == '.') ||
+             (c >= 2 && cond.compare(c - 2, 2, "->") == 0));
+        if (member_call) {
+          Report("blocking-push", static_cast<int>(l + 1),
+                 "busy-wait on a ring push; park or shed instead — sanctioned "
+                 "spin sites need an inline waiver and a matching [[blocking]] "
+                 "entry in tools/analyze/analyze.toml");
+          break;
+        }
+      }
+    }
+  }
+
   const std::string rel_path_;
   const FileText& file_;
   const FileText& sibling_;
@@ -765,7 +803,7 @@ bool LintTree(const std::string& root, const Config& config, std::vector<Diagnos
               std::string* error) {
   const fs::path rootp(root);
   std::vector<fs::path> files;
-  for (const char* dir : {"src", "bench", "examples"}) {
+  for (const char* dir : {"src", "bench", "examples", "tools"}) {
     const fs::path d = rootp / dir;
     if (!fs::exists(d)) {
       continue;
